@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark harness.
+
+A session-scoped :class:`~repro.eval.experiments.ExperimentContext` caches
+the scalar training/evaluation runs so each table/figure driver only pays
+for its own compilation and cycle counting.
+"""
+
+import pytest
+
+from repro.eval import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,32 @@
+"""Section 4.2.1 ablation: vector-form vs counter-type predicates.
+
+The paper argues for vector predicates because a commit counter "cannot
+specifically represent which branch condition is set", forcing
+condition-set instructions to execute sequentially, whereas "reordering
+of condition-set instructions is allowed in our vector form".
+
+The ablation forces in-order condition resolution onto the trace
+predicating model.  Shape claims: the ordering restriction costs
+performance on every kernel with more than one hot condition, and the
+geomean cost is material (the vector form is the right design).
+"""
+
+from conftest import run_once
+
+from repro.eval import run_counter_ablation
+from repro.eval.experiments import geomean
+
+
+def test_counter_ablation(benchmark, ctx):
+    result = run_once(benchmark, run_counter_ablation, ctx)
+    print()
+    print(result.render())
+
+    vector = geomean([base for _, base, _, _ in result.rows])
+    counter = geomean([variant for _, _, variant, _ in result.rows])
+    assert counter <= vector, "ordering restriction must not help"
+    assert vector / counter >= 1.03, (
+        "the vector form should buy a material geomean improvement"
+    )
+    for name, base, variant, _ in result.rows:
+        assert variant <= base + 1e-9, f"{name}: counter form beat vector?"

@@ -1,0 +1,32 @@
+"""Footnote 1 ablation: single vs infinite shadow registers.
+
+The paper provisions one shadow register per sequential register and
+reports that this costs only "0 - 1% performance under an infinite
+shadow register model".  Our reproduction shows the same near-zero cost
+on most kernels; the hash-probe kernel (compress) pays a few percent
+because its hit/miss arms write the same register, and greedy list
+scheduling occasionally produces small inversions in either direction.
+The shape claim: the median cost across kernels is within a few percent,
+i.e. a single shadow register is the right cost/performance point.
+"""
+
+import statistics
+
+from conftest import run_once
+
+from repro.eval import run_shadow_ablation
+
+
+def test_shadow_ablation(benchmark, ctx):
+    result = run_once(benchmark, run_shadow_ablation, ctx)
+    print()
+    print(result.render())
+
+    losses = [loss for _, _, _, loss in result.rows]
+    # delta is negative when the single-shadow design loses performance.
+    median_loss = statistics.median(losses)
+    assert median_loss >= -2.0, "median single-shadow cost should be ~0-2%"
+    assert all(loss >= -10.0 for loss in losses), "no kernel pays >10%"
+    # At least half the kernels are within the paper's 0-1% band.
+    within_band = sum(1 for loss in losses if loss >= -1.0)
+    assert within_band >= len(losses) // 2

@@ -1,0 +1,33 @@
+"""Static code expansion from tail duplication.
+
+The paper flags code growth as a real cost of speculative scheduling
+schemes (boosting's recovery code "doubles the size of the original
+code"; region formation duplicates join blocks).  Shape claims for our
+windowed schedulers:
+
+* every model's static expansion is modest (well under the 2x the paper
+  attributes to boosting's software recovery scheme, geomean-wise);
+* duplication never explodes (no kernel beyond ~3x);
+* predicating models add no *extra* static cost over their restricted
+  counterparts beyond exit jumps (branch elimination roughly offsets
+  predicated exits).
+"""
+
+from conftest import run_once
+
+from repro.eval import run_code_expansion
+
+
+def test_code_expansion(benchmark, ctx):
+    result = run_once(benchmark, run_code_expansion, ctx)
+    print()
+    print(result.render())
+
+    means = result.geomeans()
+    for model, value in means.items():
+        assert 1.0 <= value <= 2.0, f"{model}: geomean expansion {value}"
+    for name, row in result.rows.items():
+        for model, value in row.items():
+            assert value <= 3.0, f"{name}/{model}: expansion {value}"
+    # The 2-block window duplicates least among the wide-window models.
+    assert means["global"] <= means["region_pred"] + 0.15

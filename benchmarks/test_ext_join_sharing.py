@@ -1,0 +1,41 @@
+"""Extension: the footnote-2 join-sharing trade-off, measured.
+
+Section 3.3 allows a join block with an *equivalent block* to stay
+shared rather than duplicated; Section 4.2.2 names the price: commit
+dependences ("this instruction cannot be scheduled until the speculative
+value is committed or squashed") and says the compiler "duplicates the
+join block to avoid this constraint (if beneficial)".
+
+Shape claims:
+
+* sharing never increases static code size, and reduces it where the
+  shallow-reconvergence shape occurs (the compress kernel's diamond);
+* the performance effect is small in either direction on these kernels
+  (duplication's crowding cost and sharing's commit-dependence cost
+  roughly trade) -- consistent with the paper presenting this as a
+  heuristic choice rather than a dominant strategy.
+"""
+
+from conftest import run_once
+
+from repro.eval import run_join_sharing
+from repro.eval.experiments import geomean
+
+
+def test_join_sharing(benchmark, ctx):
+    result = run_once(benchmark, run_join_sharing, ctx)
+    print()
+    print(result.render())
+
+    for name, dup_speed, shared_speed, dup_x, shared_x in result.rows:
+        assert shared_x <= dup_x + 1e-9, f"{name}: sharing grew the code"
+        # Neither choice catastrophically beats the other on any kernel.
+        assert abs(shared_speed - dup_speed) / dup_speed <= 0.25, name
+
+    assert any(
+        shared_x < dup_x - 1e-9 for _, _, _, dup_x, shared_x in result.rows
+    ), "sharing should fire on at least one kernel"
+
+    dup = geomean([row[1] for row in result.rows])
+    shared = geomean([row[2] for row in result.rows])
+    assert abs(shared - dup) / dup <= 0.10

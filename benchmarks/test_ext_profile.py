@@ -1,0 +1,24 @@
+"""Extension: profile sensitivity of region formation.
+
+All other experiments train the static predictor on a different input
+seed than they evaluate on (the honest methodology).  This benchmark
+quantifies the self-training alternative: the inflation must be small --
+region formation keys on branch *behaviour classes* (the Table 3 bands),
+which are properties of the program, not of the input draw.
+"""
+
+from conftest import run_once
+
+from repro.eval import run_profile_sensitivity
+
+
+def test_profile_sensitivity(benchmark, ctx):
+    result = run_once(benchmark, run_profile_sensitivity, ctx)
+    print()
+    print(result.render())
+
+    for name, cross, self_trained in result.rows:
+        inflation = (self_trained / cross - 1) * 100
+        assert -2.0 <= inflation <= 8.0, (
+            f"{name}: self-training inflation {inflation:.1f}% out of band"
+        )

@@ -1,0 +1,53 @@
+"""Figure 7: predicating vs conventional speculative execution.
+
+Paper shape (geomeans: global 1.27x, boosting 1.74x, trace predicating
+2.24x, region predicating 2.45x):
+
+* global < boosting < trace_pred <= region_pred in the geomean;
+* region predicating wins over trace predicating exactly on the
+  branch-unpredictable kernels (compress, eqntott, li) and adds ~nothing
+  on the predictable ones (grep, nroff) -- the paper's central result;
+* the paper also observes region predicating *slightly below* trace
+  predicating on a couple of benchmarks (commit dependences); we allow
+  that but bound the loss;
+* the predicating models' speedups here are measured by *executing* the
+  scheduled code on the cycle-level machine, which also re-validates
+  architectural equivalence with the scalar run.
+"""
+
+from conftest import run_once
+
+from repro.eval import run_fig7
+
+REGION_WINS = {"compress", "eqntott", "li"}
+REGION_NEUTRAL = {"grep", "nroff"}
+
+
+def test_fig7(benchmark, ctx):
+    figure = run_once(benchmark, run_fig7, ctx)
+    print()
+    print(figure.render())
+
+    means = figure.geomeans()
+    assert means["global"] < means["boosting"] < means["trace_pred"]
+    assert means["region_pred"] >= means["trace_pred"] - 1e-9
+    # Headline band: the paper reports 2.45x for region predicating and
+    # 2.24x for trace predicating on a 4-issue machine.
+    assert 2.0 <= means["trace_pred"] <= 2.6
+    assert 2.1 <= means["region_pred"] <= 2.7
+
+    for name in REGION_WINS:
+        values = figure.per_workload[name]
+        assert values["region_pred"] > values["trace_pred"] + 0.05, (
+            f"{name}: region predicating should clearly beat trace "
+            "predicating on unpredictable branches"
+        )
+    for name in REGION_NEUTRAL:
+        values = figure.per_workload[name]
+        assert abs(values["region_pred"] - values["trace_pred"]) <= 0.15, (
+            f"{name}: predictable branches should make region ~= trace"
+        )
+    # Bounded regression anywhere else (the paper's commit-dependence
+    # effect was 'slight').
+    for name, values in figure.per_workload.items():
+        assert values["region_pred"] >= values["trace_pred"] - 0.20, name

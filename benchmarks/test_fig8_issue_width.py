@@ -1,0 +1,46 @@
+"""Figure 8: full-issue machines under varying speculation depth.
+
+Paper shape:
+
+* "the hardware support for speculative execution past two conditions is
+  almost enough to fill issue slots of the two-issue machine" -- on the
+  2-issue machine, depth 2 captures most of the achievable speedup;
+* "speculative execution past four conditions is needed to best use the
+  abundant resources of the four-issue machine" -- depth 4 clearly beats
+  depth 2 at width 4;
+* "speculative execution past eight conditions or eight duplications of
+  resources produces little impact" -- depth 8 adds almost nothing over
+  depth 4, and the 8-issue machine adds almost nothing over 4-issue;
+* speedup is monotone in speculation depth for every width (a compiler
+  with a resource-aware benefit heuristic never loses by being allowed
+  deeper speculation).
+"""
+
+from conftest import run_once
+
+from repro.eval import run_fig8
+
+
+def test_fig8(benchmark, ctx):
+    result = run_once(benchmark, run_fig8, ctx)
+    print()
+    print(result.render())
+
+    g = result.geomeans
+    for width in result.widths:
+        for shallow, deep in zip(result.depths, result.depths[1:]):
+            assert g[(width, deep)] >= g[(width, shallow)] - 1e-9, (
+                f"{width}-issue: depth {deep} worse than {shallow}"
+            )
+
+    # Depth 2 nearly saturates the 2-issue machine.
+    assert g[(2, 2)] >= 0.90 * g[(2, 8)]
+    # Depth 4 is needed at width 4: it clearly beats depth 2.
+    assert g[(4, 4)] >= 1.10 * g[(4, 2)]
+    # Depth 8 adds little over depth 4 at width 4.
+    assert g[(4, 8)] <= 1.05 * g[(4, 4)]
+    # Eight-wide resources add little over four-wide.
+    assert g[(8, 8)] <= 1.08 * g[(4, 8)]
+    # Wider machines never hurt.
+    assert g[(4, 4)] >= g[(2, 4)] - 1e-9
+    assert g[(8, 4)] >= g[(4, 4)] - 1e-9

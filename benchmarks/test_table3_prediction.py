@@ -1,0 +1,41 @@
+"""Table 3: prediction accuracy of 1..8 successive branches.
+
+Shape claims from the paper's Table 3:
+
+* grep and nroff are extremely predictable (single-branch accuracy above
+  0.93; still above ~0.6 over 8-branch runs);
+* compress, eqntott, espresso and li are not (single-branch accuracy
+  below 0.9 and 4-branch run accuracy below ~0.65);
+* accuracy decays monotonically with run length for every benchmark.
+
+These bands are what make Figure 7's region-vs-trace gap appear exactly
+where the paper says it should.
+"""
+
+from conftest import run_once
+
+from repro.eval import run_table3
+
+PREDICTABLE = {"grep", "nroff"}
+UNPREDICTABLE = {"compress", "eqntott", "espresso", "li"}
+
+
+def test_table3(benchmark, ctx):
+    result = run_once(benchmark, run_table3, ctx)
+    print()
+    print(result.render())
+
+    for name, accuracies in result.rows.items():
+        assert len(accuracies) == 8
+        for early, late in zip(accuracies, accuracies[1:]):
+            assert late <= early + 1e-9, f"{name}: accuracy not decaying"
+
+    for name in PREDICTABLE:
+        accuracies = result.rows[name]
+        assert accuracies[0] >= 0.93, f"{name} should be highly predictable"
+        assert accuracies[7] >= 0.55, f"{name} 8-run accuracy too low"
+
+    for name in UNPREDICTABLE:
+        accuracies = result.rows[name]
+        assert accuracies[0] <= 0.90, f"{name} should be poorly predictable"
+        assert accuracies[3] <= 0.65, f"{name} 4-run accuracy too high"

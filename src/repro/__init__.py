@@ -1,0 +1,70 @@
+"""Reproduction of *Unconstrained Speculative Execution with Predicated
+State Buffering* (Hideki Ando, Chikako Nakanishi, Tetsuya Hara, Masao
+Nakaya; ISCA 1995).
+
+The package provides, from scratch:
+
+* a RISC-like ISA with predicated instructions and shadow-source operands
+  (:mod:`repro.isa`);
+* the paper's predicated-state-buffering hardware -- predicate vectors,
+  CCR, predicated register file and store buffer, future-condition
+  exception recovery (:mod:`repro.core`);
+* a cycle-level VLIW machine executing predicated code, plus the scalar
+  baseline (:mod:`repro.machine`), on a functional simulation substrate
+  (:mod:`repro.sim`);
+* a region/trace scheduling compiler whose policy variants realize all
+  eight machine/scheduling models the paper evaluates
+  (:mod:`repro.compiler`);
+* benchmark-analogue workloads (:mod:`repro.workloads`) and the full
+  evaluation harness regenerating every table and figure
+  (:mod:`repro.eval`).
+
+Quick start::
+
+    from repro import evaluate_model, base_machine, get_workload
+
+    w = get_workload("compress")
+    result = evaluate_model(
+        w.program, "region_pred", base_machine(),
+        train_memory=w.train_memory(), eval_memory=w.eval_memory(),
+    )
+    print(result.speedup)
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-versus-measured results.
+"""
+
+from repro.compiler import MODELS, compile_program, evaluate_model, get_policy
+from repro.eval import ExperimentContext
+from repro.isa import Instruction, parse_program
+from repro.machine import VLIWMachine, VLIWProgram
+from repro.machine.config import (
+    MachineConfig,
+    base_machine,
+    full_issue_machine,
+)
+from repro.sim import Memory, run_program
+from repro.workloads import Workload, all_workloads, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentContext",
+    "Instruction",
+    "MODELS",
+    "MachineConfig",
+    "Memory",
+    "VLIWMachine",
+    "VLIWProgram",
+    "Workload",
+    "all_workloads",
+    "base_machine",
+    "compile_program",
+    "evaluate_model",
+    "full_issue_machine",
+    "get_policy",
+    "get_workload",
+    "parse_program",
+    "run_program",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Program analyses that feed the schedulers.
+
+* :mod:`repro.analysis.branch_prediction` -- profile-driven static branch
+  prediction and the Table 3 successive-branch accuracy measurement.
+"""
+
+from repro.analysis.branch_prediction import (
+    StaticPredictor,
+    successive_accuracy,
+)
+
+__all__ = ["StaticPredictor", "successive_accuracy"]

@@ -1,0 +1,90 @@
+"""Static branch prediction from profiles, and Table 3's metric.
+
+The paper's schedulers use "a heuristics which is a function of static
+branch predication" to grow traces and regions, and Table 3 reports the
+probability that *n* successive dynamic branches are all predicted
+correctly -- the quantity that explains where region predicating beats
+trace predicating (unpredictable branches) and where it cannot
+(grep/nroff-like code).
+
+Our predictor is the standard profile-based one: each static branch is
+predicted in its majority direction from a training run's trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.trace import DynamicTrace
+
+
+@dataclass
+class StaticPredictor:
+    """Majority-direction static prediction per static branch."""
+
+    taken_probability: dict[int, float]
+    predictions: dict[int, bool]
+
+    @classmethod
+    def from_trace(cls, trace: DynamicTrace) -> StaticPredictor:
+        """Learn per-branch majority directions from a training trace."""
+        probabilities: dict[int, float] = {}
+        predictions: dict[int, bool] = {}
+        for uid, (taken, not_taken) in trace.branch_profile().items():
+            total = taken + not_taken
+            probability = taken / total if total else 0.5
+            probabilities[uid] = probability
+            predictions[uid] = probability >= 0.5
+        return cls(taken_probability=probabilities, predictions=predictions)
+
+    def predict(self, branch_uid: int) -> bool:
+        """Predicted direction (True = taken); unseen branches: not taken."""
+        return self.predictions.get(branch_uid, False)
+
+    def probability(self, branch_uid: int) -> float:
+        """Profiled taken-probability; unseen branches: 0.5."""
+        return self.taken_probability.get(branch_uid, 0.5)
+
+    def confidence(self, branch_uid: int) -> float:
+        """Probability that the static prediction is correct."""
+        probability = self.probability(branch_uid)
+        return max(probability, 1.0 - probability)
+
+    def accuracy_on(self, trace: DynamicTrace) -> float:
+        """Fraction of dynamic branches predicted correctly on *trace*."""
+        if not trace.branches:
+            return 1.0
+        correct = sum(
+            1 for event in trace.branches if self.predict(event.uid) == event.taken
+        )
+        return correct / len(trace.branches)
+
+
+def successive_accuracy(
+    predictor: StaticPredictor,
+    trace: DynamicTrace,
+    max_run: int = 8,
+) -> list[float]:
+    """Table 3's rows: P(n successive branches all predicted correctly).
+
+    Computed over every window of *n* consecutive dynamic branches in the
+    evaluation trace, for n = 1 .. max_run.
+    """
+    outcomes = [
+        predictor.predict(event.uid) == event.taken for event in trace.branches
+    ]
+    results: list[float] = []
+    for run in range(1, max_run + 1):
+        windows = len(outcomes) - run + 1
+        if windows <= 0:
+            results.append(results[-1] if results else 1.0)
+            continue
+        # Sliding-window count of all-correct runs.
+        correct_in_window = sum(outcomes[:run])
+        all_correct = 1 if correct_in_window == run else 0
+        for start in range(1, windows):
+            correct_in_window += outcomes[start + run - 1] - outcomes[start - 1]
+            if correct_in_window == run:
+                all_correct += 1
+        results.append(all_correct / windows)
+    return results

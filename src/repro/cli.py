@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``workloads``  -- list the benchmark-analogue kernels.
+* ``run``        -- execute a workload (or an assembly file) on the
+  scalar baseline and print its output and cycle count.
+* ``compile``    -- compile under a model and show the scheduled code
+  and static statistics.
+* ``exec``       -- compile with a predicating model and execute the
+  result on the cycle-level VLIW machine.
+* ``experiment`` -- regenerate a paper table/figure (or ``all``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.branch_prediction import StaticPredictor
+from repro.compiler import MODELS, compile_program, evaluate_model
+from repro.eval import (
+    ExperimentContext,
+    run_unrolling,
+    run_btb_ablation,
+    run_code_expansion,
+    run_counter_ablation,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_hwcost,
+    run_join_sharing,
+    run_profile_sensitivity,
+    run_shadow_ablation,
+    run_table2,
+    run_table3,
+)
+from repro.ir import build_cfg
+from repro.isa import parse_program
+from repro.machine.config import base_machine
+from repro.machine.scalar import run_scalar
+from repro.sim.memory import Memory
+from repro.workloads import all_workloads, get_workload
+
+EXPERIMENTS = {
+    "table2": lambda ctx: run_table2(ctx),
+    "table3": lambda ctx: run_table3(ctx),
+    "fig6": lambda ctx: run_fig6(ctx),
+    "fig7": lambda ctx: run_fig7(ctx),
+    "fig8": lambda ctx: run_fig8(ctx),
+    "hwcost": lambda ctx: run_hwcost(),
+    "shadow": lambda ctx: run_shadow_ablation(ctx),
+    "counter": lambda ctx: run_counter_ablation(ctx),
+    "btb": lambda ctx: run_btb_ablation(ctx),
+    "codesize": lambda ctx: run_code_expansion(ctx),
+    "unroll": lambda ctx: run_unrolling(ctx),
+    "joins": lambda ctx: run_join_sharing(ctx),
+    "profile": lambda ctx: run_profile_sensitivity(ctx),
+}
+
+
+def _load_program_and_memory(target: str, seed: int):
+    """A workload name or a path to an assembly file."""
+    path = Path(target)
+    if path.exists():
+        program = parse_program(path.read_text(), name=path.stem)
+        return program, Memory(), Memory()
+    workload = get_workload(target)
+    return (
+        workload.program,
+        workload.make_memory(workload.train_seed),
+        workload.make_memory(seed),
+    )
+
+
+def cmd_workloads(_args) -> int:
+    for workload in all_workloads():
+        print(f"{workload.name:10s} {workload.description}")
+        if workload.remarks:
+            print(f"{'':10s}   ({workload.remarks})")
+    return 0
+
+
+def cmd_run(args) -> int:
+    program, _, memory = _load_program_and_memory(args.target, args.seed)
+    cfg = build_cfg(program)
+    result = run_scalar(program, cfg, memory)
+    print(f"output : {list(result.output)}")
+    print(f"cycles : {result.cycles}")
+    print(f"instrs : {result.instructions}")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    program, train, _ = _load_program_and_memory(args.target, args.seed)
+    cfg = build_cfg(program)
+    scalar = run_scalar(program, cfg, train)
+    predictor = StaticPredictor.from_trace(scalar.trace)
+    compiled = compile_program(program, args.model, base_machine(), predictor)
+    print(f"model    : {compiled.policy.name}")
+    print(f"units    : {compiled.unit_count()}")
+    total_ops = sum(
+        len(unit.region.items) for unit in compiled.code.units.values()
+    )
+    bundles = sum(unit.length for unit in compiled.code.units.values())
+    print(f"ops      : {total_ops} scheduled / {len(program)} source")
+    print(f"bundles  : {bundles}")
+    if compiled.vliw is not None and args.dump:
+        print()
+        print(compiled.vliw.format())
+    return 0
+
+
+def cmd_exec(args) -> int:
+    program, train, memory = _load_program_and_memory(args.target, args.seed)
+    if args.model != "scalar" and not MODELS[args.model].executable:
+        print(
+            f"model {args.model!r} is evaluated analytically; "
+            "use trace_pred or region_pred for machine execution",
+            file=sys.stderr,
+        )
+        return 2
+    evaluation = evaluate_model(
+        program,
+        args.model,
+        base_machine(),
+        train_memory=train,
+        eval_memory=memory,
+    )
+    machine = evaluation.machine
+    assert machine is not None
+    print(f"output        : {machine.output}")
+    print(f"scalar cycles : {evaluation.scalar.cycles}")
+    print(f"VLIW cycles   : {machine.cycles}")
+    print(f"speedup       : {evaluation.speedup:.2f}x")
+    print(f"speculative   : {machine.speculative_ops}")
+    print(f"squashed      : {machine.squashed_ops}")
+    print(f"recoveries    : {machine.recoveries}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    ctx = ExperimentContext()
+    names = list(EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        result = EXPERIMENTS[name](ctx)
+        print(result.render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Unconstrained Speculative Execution with "
+            "Predicated State Buffering' (ISCA 1995)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("workloads", help="list benchmark kernels")
+
+    run_parser = commands.add_parser("run", help="scalar-execute a program")
+    run_parser.add_argument("target", help="workload name or assembly file")
+    run_parser.add_argument("--seed", type=int, default=2)
+
+    compile_parser = commands.add_parser(
+        "compile", help="compile and show schedule statistics"
+    )
+    compile_parser.add_argument("target")
+    compile_parser.add_argument(
+        "--model", default="region_pred", choices=sorted(MODELS)
+    )
+    compile_parser.add_argument("--seed", type=int, default=2)
+    compile_parser.add_argument(
+        "--dump", action="store_true", help="print the scheduled bundles"
+    )
+
+    exec_parser = commands.add_parser(
+        "exec", help="execute predicated code on the VLIW machine"
+    )
+    exec_parser.add_argument("target")
+    exec_parser.add_argument(
+        "--model", default="region_pred", choices=["trace_pred", "region_pred"]
+    )
+    exec_parser.add_argument("--seed", type=int, default=2)
+
+    experiment_parser = commands.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment_parser.add_argument(
+        "name", choices=sorted(EXPERIMENTS) + ["all"]
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "workloads": cmd_workloads,
+        "run": cmd_run,
+        "compile": cmd_compile,
+        "exec": cmd_exec,
+        "experiment": cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,417 @@
+"""Dependence-graph construction for one linearized region.
+
+Produces the precedence edges the list scheduler must respect.  Edge
+``(i, j, L)`` means ``cycle(j) >= cycle(i) + L``; latency 0 allows
+same-cycle issue (reads happen at the start of a cycle, writes at the
+end).
+
+Edge families (with the reasoning each encodes):
+
+**Data**
+  * true dependence: consumer >= producer + producer latency;
+  * anti dependence (WAR): a use must issue no later than any later def of
+    the same register -- with buffering this also guarantees the use reads
+    the right storage before a commit or a disjoint-path shadow write can
+    overwrite it (a speculative def's earliest possible commit is the tick
+    *after* its issue cycle, so a plain latency-0 edge is sufficient);
+  * output dependence (WAW): write-back order is preserved
+    (``lat(i) - lat(j) + 1``); two defs with *different* predicates in a
+    single-shadow machine additionally conflict on the shadow storage, so
+    the later def waits for the earlier predicate's resolution (guard
+    edges from that predicate's condition-sets).
+
+**Memory**
+  The scheduler keeps may-aliasing memory operations in program order
+  (store->load 1, load->store 0, store->store 1); the predicated store
+  buffer handles the speculation side.  Aliasing is decided by a symbolic
+  address-provenance analysis: addresses are ``root + constant`` where a
+  root is a region-entry register, a constant, or an unknown; distinct
+  known roots are assumed not to alias (a standard evaluation heuristic,
+  documented in DESIGN.md), identical roots compare offsets exactly, and
+  unknowns alias everything.  Observable outputs form their own chain.
+  Operations on provably disjoint control paths never interact.
+
+**Control**
+  * guard edges: conditions an instruction may not speculate past impose
+    ``instr >= cond_set + 1``; squash-crossed conditions impose
+    ``instr >= cond_set`` (state lives only in the pipeline); buffered
+    crossings impose nothing -- the paper's mechanism;
+  * exits (predicated jumps, retained branches, halts) wait for their own
+    conditions, for every producer of a value live into their target, and
+    for stores/outputs on their path -- the region-closure rules that let
+    the machine squash all remaining speculative state at a transfer;
+  * boosting's counter-style commit hardware forces condition-resolving
+    points into program order (chain edges).
+
+**Exceptions**
+  A condition-set executes ``alw`` even when its home block is deep in the
+  region, so it must never consume a value *tainted* by a speculative
+  unsafe instruction before that instruction's exception-commit point --
+  otherwise a corrupted condition would enter the CCR and recovery could
+  not undo it (Section 3.5's correctness argument).  Taint is propagated
+  transitively along true dependences, and each tainted condition-set gets
+  guard edges for the originating unsafe instruction's predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.policy import Mechanism, ModelPolicy
+from repro.compiler.predication import LinearInstr, LinearRegion, Role
+from repro.isa.registers import ZERO_REG
+
+
+@dataclass
+class DepGraph:
+    """Precedence edges over a linear region, plus codegen metadata."""
+
+    region: LinearRegion
+    edges: list[tuple[int, int, int]] = field(default_factory=list)
+    # item index -> set of source-operand positions that read shadow state
+    shadow_positions: dict[int, set[int]] = field(default_factory=dict)
+
+    def add(self, producer: int, consumer: int, latency: int) -> None:
+        if producer != consumer:
+            self.edges.append((producer, consumer, latency))
+
+
+# ----------------------------------------------------------------------
+# Address provenance for the alias heuristic.
+# ----------------------------------------------------------------------
+_ENTRY = "entry"
+_CONST = "const"
+_UNKNOWN = "unknown"
+
+
+def _reaching_def(items: list[LinearInstr], j: int, reg: int) -> int | None:
+    """Nearest earlier def of *reg* on a path consistent with item *j*."""
+    pred_j = items[j].instr.pred
+    for i in range(j - 1, -1, -1):
+        if items[i].instr.dest_reg == reg:
+            if items[i].instr.pred.disjoint_with(pred_j):
+                continue
+            return i
+    return None
+
+
+def _provenance(
+    items: list[LinearInstr],
+    j: int,
+    reg: int,
+    cache: dict[tuple[int, int], tuple[str, int, int]],
+    depth: int = 0,
+) -> tuple[str, int, int]:
+    """Symbolic value of *reg* as seen by item *j*: (kind, id, offset)."""
+    if reg == ZERO_REG:
+        return (_CONST, 0, 0)
+    key = (j, reg)
+    if key in cache:
+        return cache[key]
+    result: tuple[str, int, int]
+    i = _reaching_def(items, j, reg)
+    if i is None:
+        result = (_ENTRY, reg, 0)
+    elif depth > 32 or not items[j].instr.pred.implies(items[i].instr.pred):
+        # A shared-join input may come from either arm: unknown value.
+        result = (_UNKNOWN, items[i].instr.uid, 0)
+    else:
+        instr = items[i].instr
+        if instr.opcode == "li":
+            result = (_CONST, 0, instr.imm or 0)
+        elif instr.opcode == "mov":
+            result = _provenance(items, i, instr.src_regs[0], cache, depth + 1)
+        elif instr.opcode == "addi":
+            kind, ident, offset = _provenance(
+                items, i, instr.src_regs[0], cache, depth + 1
+            )
+            result = (kind, ident, offset + (instr.imm or 0))
+        else:
+            result = (_UNKNOWN, instr.uid, 0)
+    cache[key] = result
+    return result
+
+
+def _may_alias(
+    a: tuple[str, int, int], b: tuple[str, int, int]
+) -> bool:
+    kind_a, id_a, off_a = a
+    kind_b, id_b, off_b = b
+    if kind_a == _UNKNOWN or kind_b == _UNKNOWN:
+        return True
+    if (kind_a, id_a) == (kind_b, id_b):
+        return off_a == off_b
+    # Distinct known roots: assumed distinct allocations.
+    return False
+
+
+def _address_of(
+    items: list[LinearInstr],
+    j: int,
+    cache: dict[tuple[int, int], tuple[str, int, int]],
+) -> tuple[str, int, int]:
+    instr = items[j].instr
+    if instr.opcode == "ld":
+        base = instr.src_regs[0]
+    else:  # st
+        base = instr.src_regs[1]
+    kind, ident, offset = _provenance(items, j, base, cache)
+    return (kind, ident, offset + (instr.imm or 0))
+
+
+# ----------------------------------------------------------------------
+# Main construction.
+# ----------------------------------------------------------------------
+def build_dependence(
+    region: LinearRegion,
+    policy: ModelPolicy,
+    exit_live_in: dict[int, set[int]],
+    *,
+    single_shadow: bool = True,
+) -> DepGraph:
+    """Build the dependence graph for *region* under *policy*.
+
+    *exit_live_in* maps original block ids (exit targets) to their live-in
+    register sets in the original CFG.
+    """
+    graph = DepGraph(region=region)
+    items = region.items
+    tree = region.tree
+
+    cond_set_of: dict[int, int] = {}
+    for index, item in enumerate(items):
+        if item.role is Role.COND_SET:
+            dest = item.instr.dest_creg
+            assert dest is not None
+            cond_set_of[dest] = index
+
+    # ---- register dependences -----------------------------------------
+    # The backward scan distinguishes two producer relations:
+    #   * pred(use) implies pred(def): the normal same-path dependence --
+    #     the consumer may read the speculative state (``.s``);
+    #   * otherwise (non-disjoint, non-implying): a *commit dependence* --
+    #     the consumer sits at a shared join (footnote-2 merging) and
+    #     "cannot be scheduled until the speculative value is committed or
+    #     squashed": it reads the sequential state and waits for every
+    #     condition of the producer's predicate to resolve.  The scan then
+    #     continues, because defs on the other arm (and the dominating
+    #     def) also reach the join.
+    # Path relations are decided with the *home* predicate of the item's
+    # tree node, not the instruction's own predicate: condition-sets are
+    # re-predicated ``alw`` but still belong to their home path, and
+    # shared-join items carry the merged (shorter) predicate.
+    def home_pred(index: int):
+        return tree.nodes[items[index].node_id].pred
+
+    reaching: dict[int, dict[int, int | None]] = {}
+    for j, item in enumerate(items):
+        instr = item.instr
+        reaching[j] = {}
+        pred_j = home_pred(j)
+        for number, reg in enumerate(instr.src_regs):
+            if reg == ZERO_REG:
+                continue
+            final_def: int | None = None
+            for i in range(j - 1, -1, -1):
+                other = items[i].instr
+                if other.dest_reg != reg:
+                    continue
+                other_pred = home_pred(i)
+                if other_pred.disjoint_with(pred_j):
+                    continue
+                if pred_j.implies(other_pred):
+                    final_def = i
+                    break
+                # Commit dependence on a shared-join input.
+                graph.add(i, j, other.latency)
+                for cond, _ in other_pred.terms:
+                    if cond in cond_set_of:
+                        graph.add(cond_set_of[cond], j, 1)
+            reaching[j][number] = final_def
+            if final_def is None:
+                continue
+            producer = items[final_def].instr
+            graph.add(final_def, j, producer.latency)
+            if not producer.pred.is_always:
+                positions = item.instr.source_positions()
+                graph.shadow_positions.setdefault(j, set()).add(
+                    positions[number]
+                )
+
+    for j, item in enumerate(items):
+        dest = item.instr.dest_reg
+        if dest is None or dest == ZERO_REG:
+            continue
+        for i in range(j):
+            other = items[i].instr
+            # Anti dependence: earlier use, later def.
+            if dest in other.src_regs:
+                graph.add(i, j, 0)
+            # Output dependence: earlier def of the same register.
+            if other.dest_reg == dest:
+                graph.add(i, j, max(0, other.latency - item.instr.latency + 1))
+                if (
+                    single_shadow
+                    and not other.pred.is_always
+                    and other.pred != item.instr.pred
+                ):
+                    # Single-shadow conflict: wait for the earlier value's
+                    # resolution.
+                    for cond, _ in other.pred.terms:
+                        if cond in cond_set_of:
+                            graph.add(cond_set_of[cond], j, 1)
+
+    # ---- memory dependences --------------------------------------------
+    address_cache: dict[tuple[int, int], tuple[str, int, int]] = {}
+    memory_items = [
+        j
+        for j, item in enumerate(items)
+        if item.instr.opcode in ("ld", "st")
+    ]
+    for position, j in enumerate(memory_items):
+        b = items[j].instr
+        addr_j = _address_of(items, j, address_cache)
+        for i in memory_items[:position]:
+            a = items[i].instr
+            if a.opcode == "ld" and b.opcode == "ld":
+                continue
+            if a.pred.disjoint_with(b.pred):
+                continue
+            if not _may_alias(
+                _address_of(items, i, address_cache), addr_j
+            ):
+                continue
+            if a.opcode == "st" and b.opcode == "ld":
+                graph.add(i, j, 1)
+            elif a.opcode == "ld" and b.opcode == "st":
+                graph.add(i, j, 0)
+            else:
+                graph.add(i, j, 1)
+
+    out_items = [
+        j for j, item in enumerate(items) if item.instr.opcode == "out"
+    ]
+    for previous, current in zip(out_items, out_items[1:]):
+        graph.add(previous, current, 1)
+
+    # ---- control / guard edges -----------------------------------------
+    for j, item in enumerate(items):
+        instr = item.instr
+        if item.role in (Role.EXIT, Role.BRANCH, Role.HALT):
+            for cond, _ in instr.pred.terms:
+                if cond in cond_set_of:
+                    graph.add(cond_set_of[cond], j, 1)
+            if item.role is Role.BRANCH:
+                for creg in instr.src_cregs:
+                    if creg in cond_set_of:
+                        graph.add(cond_set_of[creg], j, 1)
+            continue
+        if instr.pred.is_always:
+            continue
+        rule = policy.rule_for(instr)
+        terms = list(instr.pred.terms)  # sorted by index = shallow->deep
+        crossed = min(rule.depth, len(terms))
+        guarded = terms[: len(terms) - crossed]
+        crossed_terms = terms[len(terms) - crossed :]
+        for cond, _ in guarded:
+            if cond in cond_set_of:
+                graph.add(cond_set_of[cond], j, 1)
+        if rule.mechanism is Mechanism.SQUASH:
+            for cond, _ in crossed_terms:
+                if cond in cond_set_of:
+                    graph.add(cond_set_of[cond], j, 0)
+        elif rule.mechanism is Mechanism.RENAME:
+            # Not renamed by the transform (no free register): guard.
+            for cond, _ in crossed_terms:
+                if cond in cond_set_of:
+                    graph.add(cond_set_of[cond], j, 1)
+
+    if policy.ordered_cond_sets:
+        resolving = [
+            j
+            for j, item in enumerate(items)
+            if item.role is (Role.BRANCH if not policy.eliminate_branches
+                             else Role.COND_SET)
+        ]
+        for previous, current in zip(resolving, resolving[1:]):
+            graph.add(previous, current, 1)
+
+    # ---- exception taint ------------------------------------------------
+    speculative_unsafe: set[int] = set()
+    for j, item in enumerate(items):
+        instr = item.instr
+        if instr.is_unsafe and not instr.pred.is_always:
+            rule = policy.rule_for(instr)
+            if rule.depth > 0 and rule.mechanism is Mechanism.BUFFER:
+                speculative_unsafe.add(j)
+
+    taint: dict[int, set[int]] = {}
+    for j, item in enumerate(items):
+        origins: set[int] = set()
+        for number, i in reaching.get(j, {}).items():
+            if i is None:
+                continue
+            origins |= taint.get(i, set())
+            if i in speculative_unsafe:
+                origins.add(i)
+        taint[j] = origins
+        if item.role is Role.COND_SET and origins:
+            for origin in origins:
+                graph.add(origin, j, items[origin].instr.latency)
+                for cond, _ in items[origin].instr.pred.terms:
+                    if cond in cond_set_of:
+                        graph.add(cond_set_of[cond], j, 1)
+
+    # ---- region-exit closure ---------------------------------------------
+    exit_items = [
+        j
+        for j, item in enumerate(items)
+        if item.role in (Role.EXIT, Role.BRANCH, Role.HALT)
+    ]
+    # With pure tail duplication exit predicates are pairwise disjoint, so
+    # at most one can be true.  Equivalent-join sharing weakens this: a
+    # shared join's exit conditions are computed ``alw`` and hold garbage
+    # on paths that left through an arm's side exit, so both could read
+    # true.  Program order decides: a later exit may only issue after
+    # every earlier non-disjoint exit has had its chance to transfer.
+    for position, e in enumerate(exit_items):
+        for earlier in exit_items[:position]:
+            if not items[earlier].instr.pred.disjoint_with(
+                items[e].instr.pred
+            ):
+                graph.add(earlier, e, 1)
+
+    for e in exit_items:
+        exit_item = items[e]
+        live: set[int] = set()
+        for node_id, _arm in exit_item.exit_keys:
+            for exit_ in tree.nodes[node_id].exits:
+                live |= exit_live_in.get(exit_.target_origin, set())
+        exit_pred = exit_item.instr.pred
+        exit_conditions = exit_pred.conditions
+        for i in range(e):
+            other = items[i]
+            if other.role in (Role.EXIT, Role.BRANCH, Role.HALT):
+                continue
+            if home_pred(i).disjoint_with(exit_pred):
+                continue
+            contributes = False
+            dest = other.instr.dest_reg
+            if dest is not None and dest in live:
+                graph.add(i, e, other.instr.latency)
+                contributes = True
+            if other.instr.opcode in ("st", "out"):
+                graph.add(i, e, 0)
+                contributes = True
+            if contributes:
+                # Closure: the contributor's own conditions must resolve
+                # before the exit, or the transfer would squash it.  With
+                # pure tail duplication the exit predicate already covers
+                # them; with shared joins (footnote 2) the exit predicate
+                # is shorter than the arm producers' -- these edges are
+                # the commit dependences the paper attributes to region
+                # predicating.
+                for cond, _ in home_pred(i).terms:
+                    if cond not in exit_conditions and cond in cond_set_of:
+                        graph.add(cond_set_of[cond], e, 1)
+    return graph

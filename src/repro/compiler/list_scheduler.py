@@ -1,0 +1,128 @@
+"""Resource-constrained list scheduling.
+
+Classic critical-path list scheduling over the region dependence graph:
+priority is the longest latency-weighted path to any sink, ties broken by
+program order (which keeps schedules deterministic and close to the
+source's intent).  Resources are the machine's issue width and per-class
+function-unit counts.
+
+Latency-0 edges permit same-cycle issue (the machine reads operands at the
+start of a cycle and writes at the end), which is how squash-crossed
+conditions and anti-dependences behave.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.compiler.dependence import DepGraph
+from repro.core.exceptions import ScheduleViolation
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import FuClass
+from repro.machine.config import MachineConfig
+
+
+@dataclass
+class Schedule:
+    """The result: issue cycle per item, and the packed bundles."""
+
+    cycle_of: dict[int, int]  # item index -> cycle (0-based)
+    bundles: list[list[int]] = field(default_factory=list)  # item indices
+
+    @property
+    def length(self) -> int:
+        return len(self.bundles)
+
+
+def _priorities(
+    count: int, edges: list[tuple[int, int, int]], instrs: list[Instruction]
+) -> list[int]:
+    """Longest path (by latency, min 1 per hop) from each node to a sink."""
+    outgoing: dict[int, list[tuple[int, int]]] = {i: [] for i in range(count)}
+    for producer, consumer, latency in edges:
+        outgoing[producer].append((consumer, max(latency, 1)))
+    height = [0] * count
+    for i in range(count - 1, -1, -1):
+        best = instrs[i].latency
+        for consumer, latency in outgoing[i]:
+            if consumer > i:
+                best = max(best, latency + height[consumer])
+        height[i] = best
+    return height
+
+
+def list_schedule(graph: DepGraph, config: MachineConfig) -> Schedule:
+    """Schedule *graph* onto *config*'s resources."""
+    items = graph.region.items
+    count = len(items)
+    instrs = [item.instr for item in items]
+
+    incoming: dict[int, list[tuple[int, int]]] = {i: [] for i in range(count)}
+    outgoing: dict[int, list[tuple[int, int]]] = {i: [] for i in range(count)}
+    for producer, consumer, latency in graph.edges:
+        if producer >= consumer and producer == consumer:
+            continue
+        if consumer < producer:
+            # A reversed edge would make the graph cyclic with program
+            # order; the builders never produce one except use-before-def
+            # style anti edges, which are still forward edges by index.
+            raise ScheduleViolation(
+                f"backward dependence edge {producer}->{consumer}"
+            )
+        incoming[consumer].append((producer, latency))
+        outgoing[producer].append((consumer, latency))
+
+    height = _priorities(count, graph.edges, instrs)
+    unscheduled_preds = {i: len(incoming[i]) for i in range(count)}
+    earliest = [0] * count
+    # Min-heap by (-priority, program order).
+    ready: list[tuple[int, int]] = []
+    for i in range(count):
+        if unscheduled_preds[i] == 0:
+            heapq.heappush(ready, (-height[i], i))
+
+    cycle_of: dict[int, int] = {}
+    bundles: list[list[int]] = []
+    cycle = 0
+    deferred: list[tuple[int, int]] = []
+    scheduled = 0
+    while scheduled < count:
+        issue_used = 0
+        fu_used: dict[FuClass, int] = {}
+        bundle: list[int] = []
+        deferred.clear()
+        while ready:
+            priority, i = heapq.heappop(ready)
+            if earliest[i] > cycle:
+                deferred.append((priority, i))
+                continue
+            fu = instrs[i].fu
+            limit = config.fu_count(fu)
+            if issue_used >= config.issue_width or (
+                limit is not None and fu_used.get(fu, 0) >= limit
+            ):
+                deferred.append((priority, i))
+                continue
+            # Same-cycle (latency 0) dependences: the producer must already
+            # be placed in this or an earlier cycle -- guaranteed because a
+            # consumer only becomes ready once all producers are scheduled.
+            bundle.append(i)
+            cycle_of[i] = cycle
+            issue_used += 1
+            fu_used[fu] = fu_used.get(fu, 0) + 1
+            scheduled += 1
+            for consumer, latency in outgoing[i]:
+                earliest[consumer] = max(
+                    earliest[consumer], cycle + latency
+                )
+                unscheduled_preds[consumer] -= 1
+                if unscheduled_preds[consumer] == 0:
+                    heapq.heappush(ready, (-height[consumer], consumer))
+        for entry in deferred:
+            heapq.heappush(ready, entry)
+        bundles.append(bundle)
+        cycle += 1
+        if cycle > 10 * count + 64:
+            raise ScheduleViolation("list scheduler failed to converge")
+    return Schedule(cycle_of=cycle_of, bundles=bundles)

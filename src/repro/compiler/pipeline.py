@@ -1,0 +1,205 @@
+"""The compile-and-evaluate pipeline.
+
+``compile_program`` turns a scalar program into scheduled units under a
+model policy (region formation -> predication -> renaming -> dependence ->
+list scheduling), and -- for the predicating models -- emits executable
+VLIW code.
+
+``evaluate_model`` reproduces the paper's methodology end to end for one
+(program, model, machine) triple:
+
+1. run the scalar program on a *training* input to profile branches;
+2. compile with the profile-driven static predictor;
+3. run the scalar program on the *evaluation* input for the baseline
+   cycle count and the evaluation trace;
+4. count the scheduled code's cycles against the evaluation trace
+   (and, for executable models, actually run the code on the cycle-level
+   machine, checking architectural equivalence with the scalar run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.branch_prediction import StaticPredictor
+from repro.compiler.dependence import DepGraph, build_dependence
+from repro.compiler.list_scheduler import list_schedule
+from repro.compiler.models import get_policy
+from repro.compiler.policy import Mechanism, ModelPolicy
+from repro.compiler.predication import linearize
+from repro.compiler.regiontree import grow_region, merge_equivalent_joins
+from repro.compiler.rename import apply_renaming
+from repro.compiler.unit import CycleCount, ScheduledCode, ScheduledUnit, make_unit
+from repro.compiler.vliw_codegen import emit_vliw
+from repro.ir.cfg import CFG, build_cfg
+from repro.ir.dataflow import compute_liveness
+from repro.ir.dominators import compute_dominators
+from repro.ir.loops import find_natural_loops
+from repro.isa.program import Program
+from repro.machine.config import MachineConfig
+from repro.machine.program import VLIWProgram
+from repro.machine.scalar import ScalarRun, run_scalar
+from repro.machine.vliw import VLIWMachine, VLIWResult
+from repro.sim.memory import Memory
+
+
+@dataclass
+class CompiledProgram:
+    """Everything compilation produced for one model."""
+
+    policy: ModelPolicy
+    cfg: CFG
+    code: ScheduledCode
+    vliw: VLIWProgram | None
+
+    def unit_count(self) -> int:
+        return len(self.code.units)
+
+
+def compile_program(
+    program: Program,
+    model: str | ModelPolicy,
+    config: MachineConfig,
+    predictor: StaticPredictor,
+) -> CompiledProgram:
+    """Compile *program* under *model* for *config*."""
+    policy = get_policy(model) if isinstance(model, str) else model
+    policy = policy.with_depth(config.ccr_entries, config.speculation_depth)
+
+    cfg = build_cfg(program)
+    liveness = compute_liveness(cfg)
+    exit_live_in = {
+        bid: set(liveness.blocks[bid].live_in_regs) for bid in cfg.blocks
+    }
+    dominators = compute_dominators(cfg)
+    loop_headers = frozenset(
+        loop.header for loop in find_natural_loops(cfg, dominators)
+    )
+    # The region-growth benefit heuristic is resource-aware: a narrow
+    # machine cannot afford to fill issue slots with low-probability arms,
+    # so duplication is restricted to likelier arms as width shrinks.
+    min_arm_probability = max(
+        policy.min_arm_probability, 1.0 / config.issue_width
+    )
+    uses_renaming = any(
+        rule.mechanism is Mechanism.RENAME and rule.depth > 0
+        for rule in (policy.safe, policy.unsafe, policy.load, policy.store)
+    )
+    single_shadow = config.shadow_capacity == 1
+
+    units: dict[int, ScheduledUnit] = {}
+    graphs: dict[int, DepGraph] = {}
+    worklist = [cfg.entry]
+    while worklist:
+        header = worklist.pop()
+        if header in units:
+            continue
+        tree = grow_region(
+            cfg,
+            header,
+            both_arms=policy.both_arms,
+            window_blocks=policy.window_blocks,
+            max_conditions=config.ccr_entries,
+            predictor=predictor,
+            min_arm_probability=min_arm_probability,
+            loop_headers=loop_headers,
+        )
+        if policy.share_equivalent_joins:
+            merge_equivalent_joins(tree, cfg, dominators)
+        region = linearize(
+            tree, cfg, eliminate_branches=policy.eliminate_branches
+        )
+        if uses_renaming:
+            apply_renaming(region, policy, exit_live_in)
+        graph = build_dependence(
+            region, policy, exit_live_in, single_shadow=single_shadow
+        )
+        schedule = list_schedule(graph, config)
+        units[header] = make_unit(tree, region, schedule)
+        graphs[header] = graph
+        worklist.extend(tree.exit_targets())
+
+    code = ScheduledCode(units, cfg)
+    vliw = (
+        emit_vliw(units, graphs, cfg.entry, name=f"{program.name}:{policy.name}")
+        if policy.executable
+        else None
+    )
+    return CompiledProgram(policy=policy, cfg=cfg, code=code, vliw=vliw)
+
+
+@dataclass
+class ModelEvaluation:
+    """Cycle counts and validation results for one model run."""
+
+    model: str
+    scalar: ScalarRun
+    analytic: CycleCount
+    machine: VLIWResult | None
+    compiled: CompiledProgram
+
+    @property
+    def cycles(self) -> int:
+        """The headline cycle count (machine-measured when available)."""
+        if self.machine is not None:
+            return self.machine.cycles
+        return self.analytic.cycles
+
+    @property
+    def speedup(self) -> float:
+        return self.scalar.cycles / self.cycles
+
+
+def evaluate_model(
+    program: Program,
+    model: str | ModelPolicy,
+    config: MachineConfig,
+    *,
+    train_memory: Memory,
+    eval_memory: Memory,
+    fault_handler=None,
+    run_machine: bool | None = None,
+    max_steps: int | None = None,
+) -> ModelEvaluation:
+    """The full paper methodology for one (program, model, machine) triple."""
+    cfg = build_cfg(program)
+    train = run_scalar(
+        program, cfg, train_memory, fault_handler=fault_handler,
+        max_steps=max_steps,
+    )
+    predictor = StaticPredictor.from_trace(train.trace)
+
+    compiled = compile_program(program, model, config, predictor)
+
+    evaluation = run_scalar(
+        program, cfg, eval_memory.clone(), fault_handler=fault_handler,
+        max_steps=max_steps,
+    )
+    analytic = compiled.code.count_cycles(evaluation.trace, config)
+
+    machine_result: VLIWResult | None = None
+    should_run = (
+        compiled.vliw is not None if run_machine is None else run_machine
+    )
+    if should_run and compiled.vliw is not None:
+        machine = VLIWMachine(
+            compiled.vliw,
+            config,
+            eval_memory.clone(),
+            fault_handler=fault_handler,
+        )
+        machine_result = machine.run()
+        if machine_result.architectural_output != evaluation.output:
+            raise AssertionError(
+                f"{program.name}/{compiled.policy.name}: scheduled code "
+                f"diverged from scalar semantics: "
+                f"{machine_result.architectural_output[:8]} != "
+                f"{evaluation.output[:8]}"
+            )
+    return ModelEvaluation(
+        model=compiled.policy.name,
+        scalar=evaluation,
+        analytic=analytic,
+        machine=machine_result,
+        compiled=compiled,
+    )

@@ -1,0 +1,159 @@
+"""Scheduled units and the trace-driven cycle counter.
+
+The paper counts cycles for the scheduled machine "using the trace
+information of the R3000 code by pixie".  Our equivalent: every scheduled
+region knows, for each of its exits, the cycle of the departing jump (or
+retained branch); the counter walks the scalar dynamic trace through the
+region trees, charging each region visit its departure cycle + 1 and the
+configured taken-transfer penalty.
+
+Because the dependence builder gives every exit closure edges (conditions,
+live-out producers, stores), the schedule itself guarantees everything an
+early exit needs has issued -- no compensation-code accounting is needed
+(DESIGN.md discusses this modelling choice for the trace-scheduling
+baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.list_scheduler import Schedule
+from repro.compiler.predication import LinearRegion, Role
+from repro.compiler.regiontree import RegionTree
+from repro.ir.cfg import CFG
+from repro.machine.config import MachineConfig
+from repro.sim.trace import DynamicTrace
+
+
+@dataclass
+class ScheduledUnit:
+    """One region's schedule plus the exit-cycle table."""
+
+    tree: RegionTree
+    region: LinearRegion
+    schedule: Schedule
+    # (node_id, arm_value) -> issue cycle of the departing control point.
+    exit_cycle: dict[tuple[int, bool | None], int] = field(default_factory=dict)
+    halt_cycle: dict[int, int] = field(default_factory=dict)  # node_id -> cycle
+
+    @property
+    def header_origin(self) -> int:
+        return self.tree.header_origin
+
+    @property
+    def length(self) -> int:
+        return self.schedule.length
+
+
+def make_unit(
+    tree: RegionTree, region: LinearRegion, schedule: Schedule
+) -> ScheduledUnit:
+    """Assemble a unit, extracting exit/halt cycles from the schedule."""
+    unit = ScheduledUnit(tree=tree, region=region, schedule=schedule)
+    for index, item in enumerate(region.items):
+        cycle = schedule.cycle_of[index]
+        if item.role in (Role.EXIT, Role.BRANCH):
+            for key in item.exit_keys:
+                unit.exit_cycle[key] = cycle
+        elif item.role is Role.HALT:
+            unit.halt_cycle[item.node_id] = cycle
+    return unit
+
+
+class TraceWalkError(RuntimeError):
+    """The dynamic trace and the scheduled code disagree (a compiler bug)."""
+
+
+@dataclass
+class CycleCount:
+    """Result of a trace-driven count."""
+
+    cycles: int
+    region_entries: int
+
+
+class ScheduledCode:
+    """All units of a compiled program, keyed by header origin block."""
+
+    def __init__(self, units: dict[int, ScheduledUnit], cfg: CFG):
+        self.units = units
+        self.cfg = cfg
+
+    def count_cycles(
+        self, trace: DynamicTrace, config: MachineConfig
+    ) -> CycleCount:
+        """Walk *trace* through the scheduled units and count cycles."""
+        from repro.machine.btb import BranchTargetBuffer
+
+        blocks = trace.blocks
+        btb = (
+            BranchTargetBuffer(config.btb_entries)
+            if config.btb_entries is not None
+            else None
+        )
+        total = 0
+        entries = 0
+        position = 0
+        previous_header: int | None = None
+        while position < len(blocks):
+            header = blocks[position]
+            unit = self.units.get(header)
+            if unit is None:
+                raise TraceWalkError(f"no unit headed by block {header}")
+            entries += 1
+            cycles, consumed = self._walk_unit(unit, blocks, position)
+            total += cycles
+            if btb is not None and not btb.access((previous_header, header)):
+                total += config.taken_penalty_indirect
+            else:
+                total += config.taken_penalty_btb
+            previous_header = header
+            position += consumed
+        return CycleCount(cycles=total, region_entries=entries)
+
+    def _walk_unit(
+        self, unit: ScheduledUnit, blocks: list[int], start: int
+    ) -> tuple[int, int]:
+        """Cycles spent in one visit of *unit*, and blocks consumed."""
+        tree = unit.tree
+        node = tree.nodes[tree.root]
+        consumed = 1
+        while True:
+            block = self.cfg.blocks[node.origin]
+            terminator = block.terminator
+
+            if terminator is not None and terminator.opcode == "halt":
+                return unit.halt_cycle[node.node_id] + 1, consumed
+
+            position = start + consumed
+            if position >= len(blocks):
+                # Trace ended without halt (non-halting program tail).
+                return unit.length, consumed
+
+            next_origin = blocks[position]
+            arm = self._arm_for(node, block, next_origin)
+            child_id = node.children.get(arm)
+            if child_id is not None and tree.nodes[child_id].origin == next_origin:
+                node = tree.nodes[child_id]
+                consumed += 1
+                continue
+            key = (node.node_id, arm)
+            if key in unit.exit_cycle:
+                return unit.exit_cycle[key] + 1, consumed
+            raise TraceWalkError(
+                f"block {node.origin}: no child or exit for successor "
+                f"{next_origin} (arm {arm})"
+            )
+
+    def _arm_for(self, node, block, next_origin: int) -> bool | None:
+        """Which arm of *node* leads to *next_origin*."""
+        if node.cond_index is None:
+            return True if node.children else None
+        if block.taken_target == next_origin:
+            return node.taken_value
+        if block.fall_through == next_origin:
+            return not node.taken_value
+        raise TraceWalkError(
+            f"block {node.origin}: successor {next_origin} matches neither arm"
+        )

@@ -1,0 +1,124 @@
+"""Loop unrolling -- the paper's future-work experiment.
+
+Section 4.2.2 closes: "Speculative execution past eight conditions or
+eight duplications of resources, however, produces little impact on
+performance in our current evaluation. We believe that other compilation
+techniques which expose more parallelism (e.g. loop unrolling) may be
+required to exploit more parallelism."
+
+This pass makes that claim testable.  It unrolls natural loops at the CFG
+level by replicating the loop body: back edges of copy *i* are rewired to
+the header copy of iteration *i+1*, and the final copy's back edges return
+to the original header.  Every copy keeps its loop-exit edges, so the
+transform is trip-count oblivious and semantics preserving for any
+dynamic iteration count (verified by property tests).
+
+After unrolling, the original header still heads the (now longer) loop --
+the region former's loop barrier applies to it alone, so one region can
+cover several original iterations' worth of control flow, which is
+exactly the extra parallelism the deeper/wider machines of Figure 8 need.
+
+Only self-contained loops are unrolled: every body block must branch
+within the body or out of the loop, and the body must not contain ``out``
+... actually observable effects are fine -- the copies preserve program
+order.  Loops whose body contains an inner loop header are left alone
+(inner loops are unrolled first, outermost last, by processing loops in
+increasing body size).
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import CFG
+from repro.ir.dominators import compute_dominators
+from repro.ir.loops import find_natural_loops
+
+
+def unroll_loops(cfg: CFG, factor: int, *, max_body_blocks: int = 12) -> CFG:
+    """Return a new CFG with every eligible natural loop unrolled.
+
+    ``factor`` is the total number of body copies (1 = no change).  Loops
+    larger than *max_body_blocks* are left alone (code-size guard).
+    """
+    if factor < 1:
+        raise ValueError("unroll factor must be >= 1")
+    result = cfg.clone()
+    if factor == 1:
+        return result
+
+    # Innermost-first: loops sorted by increasing body size; re-analyze
+    # after each transform because block ids change.
+    progress = True
+    # Track processed loops by header *origin* so the copies a transform
+    # creates (which carry the same origin) are never re-unrolled.
+    unrolled_origins: set[int] = set()
+    while progress:
+        progress = False
+        dominators = compute_dominators(result)
+        loops = sorted(
+            find_natural_loops(result, dominators), key=lambda l: l.size
+        )
+        fresh_headers = {
+            loop.header
+            for loop in loops
+            if result.blocks[loop.header].origin not in unrolled_origins
+        }
+        for loop in loops:
+            origin = result.blocks[loop.header].origin
+            if origin in unrolled_origins:
+                continue
+            if loop.size > max_body_blocks:
+                unrolled_origins.add(origin)  # too big: never retry
+                continue
+            if (fresh_headers - {loop.header}) & loop.body:
+                continue  # unroll inner loops first
+            _unroll_one(result, loop.header, loop.body, factor)
+            unrolled_origins.add(origin)
+            progress = True
+            break  # re-analyze from scratch
+    result.remove_unreachable()
+    return result
+
+
+def _unroll_one(cfg: CFG, header: int, body: set[int], factor: int) -> None:
+    """Unroll one loop in place."""
+    copies: list[dict[int, int]] = []  # per extra iteration: old bid -> new
+    for _ in range(factor - 1):
+        mapping: dict[int, int] = {}
+        for bid in body:
+            source = cfg.blocks[bid]
+            block = cfg.new_block(list(source.instructions), origin=source.origin)
+            block.taken_target = source.taken_target
+            block.fall_through = source.fall_through
+            mapping[bid] = block.bid
+        copies.append(mapping)
+
+    def retarget(block, successor: int, mapping: dict[int, int], next_header: int):
+        if successor == header:
+            return next_header
+        return mapping.get(successor, successor)
+
+    # Wire each copy's internal edges; back edges go to the next copy's
+    # header (the last copy returns to the original header).
+    for index, mapping in enumerate(copies):
+        next_header = (
+            copies[index + 1][header] if index + 1 < len(copies) else header
+        )
+        for old_bid, new_bid in mapping.items():
+            block = cfg.blocks[new_bid]
+            if block.taken_target is not None:
+                block.taken_target = retarget(
+                    block, block.taken_target, mapping, next_header
+                )
+            if block.fall_through is not None:
+                block.fall_through = retarget(
+                    block, block.fall_through, mapping, next_header
+                )
+
+    # Original body: back edges now enter the first copy's header.
+    first_header = copies[0][header]
+    for bid in body:
+        block = cfg.blocks[bid]
+        if block.taken_target == header:
+            block.taken_target = first_header
+        if block.fall_through == header:
+            block.fall_through = first_header

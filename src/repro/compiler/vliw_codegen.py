@@ -1,0 +1,56 @@
+"""Emission of executable VLIW code from scheduled predicating regions.
+
+Only the predicating models emit machine code (the restricted baselines
+are evaluated trace-analytically, as in the paper); the emitted program is
+run on :class:`~repro.machine.vliw.VLIWMachine` both to validate that
+scheduled code computes exactly what the scalar program computes and to
+cross-check the analytic cycle counts.
+
+Shadow-source markers (``.s``) come from the dependence builder: an
+operand reads the speculative state iff its reaching definition inside the
+region is itself predicated.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.dependence import DepGraph
+from repro.compiler.unit import ScheduledUnit
+from repro.machine.program import Bundle, RegionSpan, VLIWProgram
+
+
+def emit_vliw(
+    units: dict[int, ScheduledUnit],
+    graphs: dict[int, DepGraph],
+    entry: int,
+    name: str = "vliw",
+) -> VLIWProgram:
+    """Lay out every unit and resolve exit labels."""
+    order = [entry] + sorted(origin for origin in units if origin != entry)
+    bundles: list[Bundle] = []
+    labels: dict[str, int] = {}
+    regions: list[RegionSpan] = []
+
+    for origin in order:
+        unit = units[origin]
+        graph = graphs[origin]
+        start = len(bundles)
+        labels[f"B{origin}"] = start
+        for cycle_items in unit.schedule.bundles:
+            ops = []
+            for index in sorted(cycle_items):
+                instr = unit.region.items[index].instr
+                shadow = graph.shadow_positions.get(index)
+                if shadow:
+                    instr = instr.replace(shadow=frozenset(shadow))
+                ops.append(instr)
+            bundles.append(Bundle(tuple(ops)))
+        if len(bundles) == start:
+            # A degenerate empty region still needs one bundle to land on.
+            bundles.append(Bundle(()))
+        regions.append(RegionSpan(f"B{origin}", start, len(bundles)))
+
+    program = VLIWProgram(
+        bundles=bundles, labels=labels, regions=regions, name=name
+    )
+    program.validate()
+    return program

@@ -1,0 +1,73 @@
+"""The condition code register (CCR).
+
+The CCR holds the branch conditions a region's predicates refer to.  Each
+entry is tri-state: True, False, or *unspecified* (``None``).  All entries
+are reset to unspecified by hardware on every exit from a region, because
+the speculative state is closed in the region (Section 3.3):
+
+    "Since the speculative state is closed in a region, all branch
+    conditions are reset to an unspecified value by the hardware on an
+    exit from the current region."
+
+The *future CCR* used during exception recovery (Section 3.5) is simply a
+second instance of this class.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+
+class CCR:
+    """A K-entry condition code register with unspecified values."""
+
+    __slots__ = ("_values", "num_entries")
+
+    def __init__(self, num_entries: int):
+        if num_entries < 1:
+            raise ValueError("CCR needs at least one entry")
+        self.num_entries = num_entries
+        self._values: list[bool | None] = [None] * num_entries
+
+    def set(self, index: int, value: bool) -> None:
+        """Specify condition *index* (a condition-set instruction's write)."""
+        self._check(index)
+        self._values[index] = bool(value)
+
+    def get(self, index: int) -> bool | None:
+        """Current value of condition *index* (None = unspecified)."""
+        self._check(index)
+        return self._values[index]
+
+    def is_specified(self, index: int) -> bool:
+        self._check(index)
+        return self._values[index] is not None
+
+    def reset(self) -> None:
+        """Reset every entry to unspecified (hardware region-exit action)."""
+        self._values = [None] * self.num_entries
+
+    def values(self) -> Mapping[int, bool | None]:
+        """A read-only mapping view for predicate evaluation."""
+        return {i: v for i, v in enumerate(self._values)}
+
+    def copy_from(self, other: CCR) -> None:
+        """Copy *other*'s contents (recovery-mode exit: future CCR -> CCR)."""
+        if other.num_entries != self.num_entries:
+            raise ValueError("CCR size mismatch")
+        self._values = list(other._values)
+
+    def clone(self) -> CCR:
+        other = CCR(self.num_entries)
+        other._values = list(self._values)
+        return other
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.num_entries:
+            raise IndexError(f"CCR index out of range: {index}")
+
+    def __repr__(self) -> str:
+        body = ",".join(
+            "U" if v is None else ("T" if v else "F") for v in self._values
+        )
+        return f"CCR[{body}]"

@@ -1,0 +1,42 @@
+"""The control path (Figure 1).
+
+The control path evaluates the predicate of every instruction issued in the
+datapath against the CCR.  The verdict steers the write of the result:
+
+* TRUE    -> non-speculative execution; the result goes to the sequential
+  state (or the instruction simply executes, for control transfers);
+* FALSE   -> the instruction is squashed at issue;
+* UNSPEC  -> speculative execution; the result is buffered in the
+  speculative state together with the predicate.
+
+Control transfers must never be speculative -- a jump with an unspecified
+predicate at issue is a schedule bug, which :meth:`ControlPath.evaluate`
+enforces on the machine's behalf.
+"""
+
+from __future__ import annotations
+
+from repro.core.ccr import CCR
+from repro.core.exceptions import ScheduleViolation
+from repro.core.predicate import Predicate, PredValue
+from repro.isa.instruction import Instruction
+
+
+class ControlPath:
+    """Per-issue-slot predicate evaluation against the CCR."""
+
+    def __init__(self, ccr: CCR):
+        self.ccr = ccr
+
+    def evaluate(self, instruction: Instruction) -> PredValue:
+        """Evaluate *instruction*'s predicate for this cycle's issue."""
+        verdict = instruction.pred.evaluate(self.ccr.values())
+        if verdict is PredValue.UNSPEC and not instruction.is_speculable:
+            raise ScheduleViolation(
+                f"control transfer issued with unspecified predicate: {instruction}"
+            )
+        return verdict
+
+    def evaluate_pred(self, pred: Predicate) -> PredValue:
+        """Evaluate a bare predicate (writeback-time re-evaluation)."""
+        return pred.evaluate(self.ccr.values())

@@ -1,0 +1,81 @@
+"""Counter-type predicates -- the alternative Section 4.2.1 argues against.
+
+Boosting-style hardware represents a speculative result's commit condition
+as a *counter*: the number of not-yet-resolved branches the instruction
+depends on.  Every correctly resolved branch decrements every live counter;
+a counter reaching zero commits, and any mispredicted branch squashes all
+counted state.
+
+Because the counter "cannot specifically represent which branch condition
+is set", condition-resolving branches **must execute in program order** --
+reordering them would decrement counters against the wrong branch.  The
+vector-form predicate of the paper has no such constraint.  The ablation
+benchmark quantifies the scheduling cost of that in-order restriction; this
+module provides the reference semantics the machine-level ablation uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CounterPredicate:
+    """A commit counter for one buffered speculative value."""
+
+    remaining: int
+
+    def __post_init__(self) -> None:
+        if self.remaining < 0:
+            raise ValueError("counter must be non-negative")
+
+    @property
+    def committed(self) -> bool:
+        return self.remaining == 0
+
+    def resolve_one(self) -> CounterPredicate:
+        """One more dependent branch resolved correctly."""
+        if self.remaining == 0:
+            raise ValueError("already committed")
+        return CounterPredicate(self.remaining - 1)
+
+
+class CounterCommitFile:
+    """Tracks counter predicates for a set of buffered values.
+
+    Models the commit/squash hardware of a counter-based design: branches
+    resolve strictly in order; a misprediction squashes everything.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[int, CounterPredicate] = {}
+
+    def buffer(self, key: int, dependent_branches: int) -> None:
+        """Buffer value *key* depending on *dependent_branches* branches."""
+        if dependent_branches < 1:
+            raise ValueError("a speculative value depends on >= 1 branch")
+        self._counters[key] = CounterPredicate(dependent_branches)
+
+    def branch_resolved(self, correct: bool) -> tuple[list[int], list[int]]:
+        """Resolve the next branch in program order.
+
+        Returns ``(committed_keys, squashed_keys)``.  On a misprediction all
+        buffered state is squashed, like boosting's shadow discard.
+        """
+        if not correct:
+            squashed = sorted(self._counters)
+            self._counters.clear()
+            return [], squashed
+        committed: list[int] = []
+        for key in sorted(self._counters):
+            counter = self._counters[key].resolve_one()
+            if counter.committed:
+                committed.append(key)
+            else:
+                self._counters[key] = counter
+        for key in committed:
+            del self._counters[key]
+        return committed, []
+
+    def live_keys(self) -> list[int]:
+        return sorted(self._counters)

@@ -1,0 +1,248 @@
+"""The predicated register file (Figure 2).
+
+Each architectural register has a *sequential* storage (committed state) and
+shadow storage for *speculative* values.  A speculative value is buffered
+together with its predicate and an optional outstanding-fault record (the E
+flag).  Dedicated per-entry hardware re-evaluates buffered predicates every
+cycle against the CCR:
+
+* predicate TRUE  -> the value is committed into the sequential storage
+  (hardware flips the W flag / resets V); a buffered fault becomes a
+  *detected speculative exception*;
+* predicate FALSE -> the value is squashed (V reset);
+* otherwise the value is held.
+
+The paper provisions a **single** shadow register per sequential register
+(footnote 1 measures the cost of that choice at 0-1%); ``shadow_capacity``
+makes the choice explicit so the ablation benchmark can compare against an
+infinite-shadow configuration.  Two concurrent speculative values with
+*different* predicates in a capacity-1 file are a storage conflict that the
+scheduler must have prevented, so the model raises
+:class:`~repro.core.exceptions.ScheduleViolation` rather than silently
+corrupting state.
+
+Shadow reads fall back to the sequential storage when the shadow is invalid
+-- the paper's one-gate operand-fetch fix that keeps re-execution correct
+after an operand was committed (end of Section 3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ccr import CCR
+from repro.core.exceptions import FaultRecord, ScheduleViolation
+from repro.core.predicate import Predicate, PredValue
+
+
+@dataclass
+class PendingWrite:
+    """One buffered speculative value: data + predicate + E flag."""
+
+    value: int
+    pred: Predicate
+    fault: FaultRecord | None = None
+
+
+@dataclass
+class RegisterFileEntry:
+    """One architectural register: sequential storage + shadow storage."""
+
+    sequential: int = 0
+    pending: list[PendingWrite] = field(default_factory=list)
+
+    @property
+    def flag_v(self) -> bool:
+        """V flag: a valid speculative value is buffered."""
+        return bool(self.pending)
+
+    @property
+    def flag_e(self) -> bool:
+        """E flag: an outstanding speculative exception is buffered."""
+        return any(write.fault is not None for write in self.pending)
+
+
+@dataclass
+class CommitEvents:
+    """Per-cycle commit/squash activity, for tests and the Table 1 replay."""
+
+    committed: list[int] = field(default_factory=list)
+    squashed: list[int] = field(default_factory=list)
+    detected_faults: list[FaultRecord] = field(default_factory=list)
+
+
+class PredicatedRegisterFile:
+    """A bank of predicated registers with per-cycle commit hardware."""
+
+    def __init__(
+        self,
+        num_regs: int = 32,
+        *,
+        shadow_capacity: int | None = 1,
+        zero_reg: int | None = 0,
+    ):
+        if num_regs < 1:
+            raise ValueError("need at least one register")
+        if shadow_capacity is not None and shadow_capacity < 1:
+            raise ValueError("shadow capacity must be >= 1 or None (infinite)")
+        self.num_regs = num_regs
+        self.shadow_capacity = shadow_capacity
+        self.zero_reg = zero_reg
+        self.entries = [RegisterFileEntry() for _ in range(num_regs)]
+
+    # ------------------------------------------------------------------
+    # Reads.
+    # ------------------------------------------------------------------
+    def read(
+        self,
+        reg: int,
+        *,
+        shadow: bool = False,
+        reader_pred: Predicate | None = None,
+    ) -> int:
+        """Read register *reg*; ``shadow=True`` is the ``.s`` operand form.
+
+        An invalid shadow falls back to the sequential storage (the paper's
+        operand-fetch hardware fix).  When *reader_pred* is given, buffered
+        values on control paths disjoint from the reader are skipped -- a
+        reader must never observe a value that cannot commit on its own
+        path (with a single shadow register the skip simply reaches the
+        sequential fallback, which holds the reader's path value).
+        """
+        entry = self._entry(reg)
+        if shadow:
+            for write in reversed(entry.pending):
+                if reader_pred is None or not write.pred.disjoint_with(
+                    reader_pred
+                ):
+                    return write.value
+        return entry.sequential
+
+    def shadow_fault(self, reg: int) -> FaultRecord | None:
+        """The newest buffered fault on *reg*'s shadow, if any.
+
+        Reading a corrupted shadow value propagates the corruption -- the
+        machine uses this to let dependent speculative instructions carry
+        poisoned data without trapping (they are re-executed in recovery).
+        """
+        entry = self._entry(reg)
+        for write in reversed(entry.pending):
+            if write.fault is not None:
+                return write.fault
+        return None
+
+    # ------------------------------------------------------------------
+    # Writes.
+    # ------------------------------------------------------------------
+    def write_sequential(self, reg: int, value: int) -> None:
+        """Non-speculative write straight into the sequential state."""
+        if reg == self.zero_reg:
+            return
+        self._entry(reg).sequential = value
+
+    def supersede_pending(self, reg: int, ccr: CCR) -> None:
+        """Drop buffered values a sequential write supersedes.
+
+        When a younger instruction's result resolves TRUE at writeback and
+        goes straight to the sequential state, an *older* buffered value
+        whose predicate has also become true must not commit on a later
+        tick and clobber it -- program order between writes to the same
+        register would invert.  In the paper's hardware the younger write
+        simply overwrites the shadow entry; in this model it bypasses the
+        shadow, so the superseded entry is dropped instead.  (Buffered
+        faults are never dropped: a true-committing E flag must still
+        trigger recovery.)
+        """
+        if reg == self.zero_reg:
+            return
+        values = ccr.values()
+        entry = self._entry(reg)
+        entry.pending = [
+            write
+            for write in entry.pending
+            if write.fault is not None
+            or write.pred.evaluate(values) is not PredValue.TRUE
+        ]
+
+    def write_speculative(
+        self,
+        reg: int,
+        value: int,
+        pred: Predicate,
+        fault: FaultRecord | None = None,
+    ) -> None:
+        """Buffer a speculative write of *value* under *pred* (sets V, E)."""
+        if reg == self.zero_reg:
+            return
+        if pred.is_always:
+            raise ValueError("speculative write cannot carry the alw predicate")
+        entry = self._entry(reg)
+        if entry.pending and entry.pending[-1].pred == pred:
+            # Same commit condition: the newer value supersedes the data,
+            # but an outstanding E flag persists -- the original fault is
+            # architecturally real on this path even if its value was
+            # overwritten before use, and the scalar execution would have
+            # trapped on it (precise-exception equivalence).
+            fault = fault or entry.pending[-1].fault
+            entry.pending[-1] = PendingWrite(value, pred, fault)
+            return
+        if (
+            self.shadow_capacity is not None
+            and len(entry.pending) >= self.shadow_capacity
+        ):
+            raise ScheduleViolation(
+                f"shadow storage conflict on r{reg}: pending "
+                f"{entry.pending[-1].pred} vs new {pred}"
+            )
+        entry.pending.append(PendingWrite(value, pred, fault))
+
+    # ------------------------------------------------------------------
+    # Per-cycle commit hardware.
+    # ------------------------------------------------------------------
+    def tick(self, ccr: CCR) -> CommitEvents:
+        """Evaluate every buffered predicate against *ccr* once.
+
+        Returns the cycle's commit/squash events.  Detected speculative
+        exceptions are reported, not raised: the machine decides how to
+        enter recovery mode.
+        """
+        events = CommitEvents()
+        values = ccr.values()
+        for reg, entry in enumerate(self.entries):
+            if not entry.pending:
+                continue
+            kept: list[PendingWrite] = []
+            for write in entry.pending:
+                verdict = write.pred.evaluate(values)
+                if verdict is PredValue.UNSPEC:
+                    kept.append(write)
+                elif verdict is PredValue.TRUE:
+                    if write.fault is not None:
+                        events.detected_faults.append(write.fault)
+                    else:
+                        entry.sequential = write.value
+                    events.committed.append(reg)
+                else:
+                    events.squashed.append(reg)
+            entry.pending = kept
+        return events
+
+    def invalidate_speculative(self) -> None:
+        """Drop all buffered speculative state (entry to recovery mode)."""
+        for entry in self.entries:
+            entry.pending.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def sequential_snapshot(self) -> tuple[int, ...]:
+        """The committed architectural state, for validation."""
+        return tuple(entry.sequential for entry in self.entries)
+
+    def has_speculative_state(self) -> bool:
+        return any(entry.pending for entry in self.entries)
+
+    def _entry(self, reg: int) -> RegisterFileEntry:
+        if not 0 <= reg < self.num_regs:
+            raise IndexError(f"register out of range: {reg}")
+        return self.entries[reg]

@@ -1,0 +1,189 @@
+"""The predicated store buffer (Section 3.2).
+
+A FIFO in front of the D-cache.  Both speculative and non-speculative
+stores are buffered; each entry carries W (speculative), V (valid) and E
+(outstanding exception) flags plus the predicate, and has hardware that
+re-evaluates the predicate every cycle:
+
+* predicate TRUE  -> the entry is committed (W reset; a buffered fault is
+  a detected speculative exception);
+* predicate FALSE -> the entry is squashed (V reset);
+* the head entry retires to the D-cache only when valid and
+  non-speculative, preserving program order of memory updates.
+
+The observable-output instruction ``out`` flows through the same buffer
+(``address=None``) so that speculatively executed output is committed or
+squashed exactly like a store -- this is the validation channel that lets
+tests compare scalar and predicated executions.
+
+The buffer also implements store-to-load forwarding.  The scheduler keeps
+may-aliasing memory operations in program order, so a load may be forwarded
+the newest valid entry for its address whose predicate is *implied by* the
+load's own predicate; entries with disjoint predicates (other control
+paths) are skipped.  Any other overlap is a schedule bug and raises
+:class:`~repro.core.exceptions.ScheduleViolation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ccr import CCR
+from repro.core.exceptions import FaultRecord, ScheduleViolation
+from repro.core.predicate import ALWAYS, Predicate, PredValue
+
+
+@dataclass
+class StoreBufferEntry:
+    """One buffered store (or ``out``) with its W/V/E flags."""
+
+    address: int | None  # None = observable-output stream
+    value: int
+    pred: Predicate
+    speculative: bool  # W flag
+    valid: bool = True  # V flag
+    fault: FaultRecord | None = None  # E flag when not None
+
+
+@dataclass
+class StoreBufferEvents:
+    """Per-cycle commit/squash/retire activity."""
+
+    committed: list[int] = field(default_factory=list)  # entry serials
+    squashed: list[int] = field(default_factory=list)
+    retired_stores: list[tuple[int, int]] = field(default_factory=list)
+    retired_outputs: list[int] = field(default_factory=list)
+    detected_faults: list[FaultRecord] = field(default_factory=list)
+
+
+class PredicatedStoreBuffer:
+    """FIFO of predicated stores with in-order D-cache retirement."""
+
+    def __init__(self, capacity: int = 16):
+        if capacity < 1:
+            raise ValueError("store buffer capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: list[tuple[int, StoreBufferEntry]] = []
+        self._serial = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def append(
+        self,
+        address: int | None,
+        value: int,
+        pred: Predicate,
+        *,
+        speculative: bool,
+        fault: FaultRecord | None = None,
+    ) -> int:
+        """Append a store at the FIFO tail; returns the entry serial."""
+        if self.full:
+            raise ScheduleViolation("store buffer overflow")
+        if speculative and pred.is_always:
+            raise ValueError("speculative entry cannot carry the alw predicate")
+        self._serial += 1
+        entry = StoreBufferEntry(
+            address=address,
+            value=value,
+            pred=pred if speculative else ALWAYS,
+            speculative=speculative,
+            fault=fault,
+        )
+        self._entries.append((self._serial, entry))
+        return self._serial
+
+    # ------------------------------------------------------------------
+    # Per-cycle hardware.
+    # ------------------------------------------------------------------
+    def tick(self, ccr: CCR, memory, output: list[int]) -> StoreBufferEvents:
+        """One cycle: evaluate predicates, then retire from the head.
+
+        *memory* must expose ``store(address, value)``; retired outputs are
+        appended to *output*.
+        """
+        events = StoreBufferEvents()
+        values = ccr.values()
+        for serial, entry in self._entries:
+            if not entry.valid or not entry.speculative:
+                continue
+            verdict = entry.pred.evaluate(values)
+            if verdict is PredValue.TRUE:
+                entry.speculative = False
+                events.committed.append(serial)
+                if entry.fault is not None:
+                    events.detected_faults.append(entry.fault)
+            elif verdict is PredValue.FALSE:
+                entry.valid = False
+                events.squashed.append(serial)
+
+        while self._entries:
+            serial, entry = self._entries[0]
+            if not entry.valid:
+                self._entries.pop(0)
+                continue
+            if entry.speculative:
+                break  # head unresolved: retirement blocks
+            if entry.fault is not None:
+                # A non-speculative faulting store is a normal exception;
+                # the machine raises it at retirement.
+                events.detected_faults.append(entry.fault)
+                self._entries.pop(0)
+                continue
+            if entry.address is None:
+                output.append(entry.value)
+                events.retired_outputs.append(entry.value)
+            else:
+                memory.store(entry.address, entry.value)
+                events.retired_stores.append((entry.address, entry.value))
+            self._entries.pop(0)
+        return events
+
+    # ------------------------------------------------------------------
+    # Store-to-load forwarding.
+    # ------------------------------------------------------------------
+    def lookup(self, address: int, reader_pred: Predicate) -> int | None:
+        """Forward the newest matching valid entry visible to *reader_pred*.
+
+        Returns None when the load should read the D-cache.
+        """
+        for _, entry in reversed(self._entries):
+            if not entry.valid or entry.address != address:
+                continue
+            if not entry.speculative or reader_pred.implies(entry.pred):
+                return entry.value
+            if reader_pred.disjoint_with(entry.pred):
+                continue
+            raise ScheduleViolation(
+                f"ambiguous store-to-load forwarding at address {address}: "
+                f"load {reader_pred} vs store {entry.pred}"
+            )
+        return None
+
+    def invalidate_speculative(self) -> None:
+        """Squash all speculative entries (entry to recovery mode)."""
+        for _, entry in self._entries:
+            if entry.speculative:
+                entry.valid = False
+
+    def drain(self, memory, output: list[int]) -> None:
+        """Retire every remaining committed entry (used at halt)."""
+        ccr = CCR(1)  # all-unspecified CCR: only non-speculative entries move
+        while True:
+            before = len(self._entries)
+            events = self.tick(ccr, memory, output)
+            if events.detected_faults:
+                raise ScheduleViolation(
+                    "faulting store reached retirement during drain"
+                )
+            if len(self._entries) == before:
+                break
+
+    def pending_entries(self) -> list[StoreBufferEntry]:
+        """The live entries, oldest first (for tests)."""
+        return [entry for _, entry in self._entries]

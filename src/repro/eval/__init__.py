@@ -1,0 +1,43 @@
+"""Evaluation harness: one driver per paper table/figure.
+
+* :mod:`repro.eval.experiments` -- Table 2, Table 3, Figures 6/7/8, the
+  hardware-cost analysis, and the two ablations (single-vs-infinite
+  shadow registers; vector-vs-counter predicates).
+* :mod:`repro.eval.hwcost` -- the Section 4.2.1 transistor and gate-delay
+  model.
+* :mod:`repro.eval.report` -- ASCII rendering of tables and bar charts.
+"""
+
+from repro.eval.experiments import (
+    ExperimentContext,
+    run_btb_ablation,
+    run_code_expansion,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_hwcost,
+    run_join_sharing,
+    run_profile_sensitivity,
+    run_shadow_ablation,
+    run_counter_ablation,
+    run_table2,
+    run_table3,
+    run_unrolling,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "run_btb_ablation",
+    "run_code_expansion",
+    "run_counter_ablation",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_hwcost",
+    "run_join_sharing",
+    "run_profile_sensitivity",
+    "run_shadow_ablation",
+    "run_table2",
+    "run_table3",
+    "run_unrolling",
+]

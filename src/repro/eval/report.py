@@ -1,0 +1,56 @@
+"""ASCII rendering of experiment results (tables and bar charts)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a header rule."""
+    columns = [
+        [str(header)] + [str(row[i]) for row in rows]
+        for i, header in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                str(cell).ljust(width) for cell, width in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    title: str | None = None,
+    width: int = 50,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Horizontal bar chart (the Figures 6-8 view)."""
+    if not values:
+        return title or ""
+    peak = max(values)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / peak)) if peak > 0 else ""
+        lines.append(
+            f"{label.ljust(label_width)}  {fmt.format(value):>6}  {bar}"
+        )
+    return "\n".join(lines)

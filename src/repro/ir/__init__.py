@@ -1,0 +1,28 @@
+"""Compiler intermediate representation.
+
+* :mod:`repro.ir.block` -- basic blocks.
+* :mod:`repro.ir.cfg` -- the control-flow graph, built from and linearized
+  back to the assembly-level :class:`~repro.isa.program.Program`.
+* :mod:`repro.ir.dominators` -- dominator / post-dominator trees and the
+  paper's *equivalent block* relation (footnote 2).
+* :mod:`repro.ir.dataflow` -- liveness for general and condition registers.
+* :mod:`repro.ir.loops` -- natural-loop detection (region/trace seeds).
+"""
+
+from repro.ir.block import BasicBlock
+from repro.ir.cfg import CFG, build_cfg
+from repro.ir.dataflow import LivenessInfo, compute_liveness
+from repro.ir.dominators import DominatorInfo, compute_dominators
+from repro.ir.loops import Loop, find_natural_loops
+
+__all__ = [
+    "BasicBlock",
+    "CFG",
+    "DominatorInfo",
+    "LivenessInfo",
+    "Loop",
+    "build_cfg",
+    "compute_dominators",
+    "compute_liveness",
+    "find_natural_loops",
+]

@@ -1,0 +1,72 @@
+"""Basic blocks.
+
+A block is a maximal straight-line instruction sequence.  At most the last
+instruction is a control transfer.  Blocks record their control successors
+explicitly (``taken_target`` for the branch/jump target, ``fall_through``
+for the sequential successor) rather than by label, so CFG transforms can
+re-point edges without string surgery.
+
+``origin`` tracks which *original* block a duplicated copy descends from;
+the trace-driven cycle counters use it to map a dynamic scalar trace onto
+transformed code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+
+
+@dataclass
+class BasicBlock:
+    """One basic block of the CFG."""
+
+    bid: int
+    instructions: list[Instruction] = field(default_factory=list)
+    taken_target: int | None = None
+    fall_through: int | None = None
+    origin: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.origin is None:
+            self.origin = self.bid
+
+    @property
+    def terminator(self) -> Instruction | None:
+        """The trailing control transfer, or None for a pure fall-through."""
+        if self.instructions and self.instructions[-1].is_control:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def body(self) -> list[Instruction]:
+        """Instructions excluding the terminator."""
+        if self.terminator is not None:
+            return self.instructions[:-1]
+        return list(self.instructions)
+
+    @property
+    def successors(self) -> tuple[int, ...]:
+        """Successor block ids (taken first, then fall-through)."""
+        succs = []
+        if self.taken_target is not None:
+            succs.append(self.taken_target)
+        if self.fall_through is not None:
+            succs.append(self.fall_through)
+        return tuple(succs)
+
+    @property
+    def is_branch_block(self) -> bool:
+        """True when the block ends in a two-way conditional branch."""
+        terminator = self.terminator
+        return terminator is not None and terminator.is_conditional_branch
+
+    def instruction_count(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return (
+            f"BasicBlock(bid={self.bid}, n={len(self.instructions)}, "
+            f"taken={self.taken_target}, fall={self.fall_through})"
+        )

@@ -1,0 +1,126 @@
+"""Dataflow analyses: liveness for general and condition registers.
+
+Backward may-analysis over the CFG.  Liveness drives:
+
+* register renaming (a speculative motion needs a destination register that
+  is dead on the side-effect-causing path);
+* copy propagation's dead-copy elimination;
+* validation that scheduled code preserves the values of live registers.
+
+``r0`` is never considered live (reads are constant zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.cfg import CFG
+from repro.isa.instruction import Instruction
+from repro.isa.registers import ZERO_REG
+
+
+@dataclass
+class BlockLiveness:
+    """Per-block liveness sets (register indices / CCR indices)."""
+
+    use_regs: set[int] = field(default_factory=set)
+    def_regs: set[int] = field(default_factory=set)
+    use_cregs: set[int] = field(default_factory=set)
+    def_cregs: set[int] = field(default_factory=set)
+    live_in_regs: set[int] = field(default_factory=set)
+    live_out_regs: set[int] = field(default_factory=set)
+    live_in_cregs: set[int] = field(default_factory=set)
+    live_out_cregs: set[int] = field(default_factory=set)
+
+
+@dataclass
+class LivenessInfo:
+    """Liveness results for a whole CFG."""
+
+    blocks: dict[int, BlockLiveness]
+
+    def live_out_regs(self, bid: int) -> set[int]:
+        return self.blocks[bid].live_out_regs
+
+    def live_in_regs(self, bid: int) -> set[int]:
+        return self.blocks[bid].live_in_regs
+
+    def dead_regs_at_entry(self, bid: int, num_regs: int) -> set[int]:
+        """Registers whose value is irrelevant on entry to *bid*."""
+        live = self.blocks[bid].live_in_regs
+        return {r for r in range(num_regs) if r != ZERO_REG and r not in live}
+
+
+def instruction_uses(instruction: Instruction) -> tuple[set[int], set[int]]:
+    """(register uses, condition-register uses) of one instruction."""
+    regs = {r for r in instruction.src_regs if r != ZERO_REG}
+    cregs = set(instruction.src_cregs)
+    return regs, cregs
+
+
+def instruction_defs(instruction: Instruction) -> tuple[set[int], set[int]]:
+    """(register defs, condition-register defs) of one instruction."""
+    regs: set[int] = set()
+    if instruction.dest_reg is not None and instruction.dest_reg != ZERO_REG:
+        regs.add(instruction.dest_reg)
+    cregs: set[int] = set()
+    if instruction.dest_creg is not None:
+        cregs.add(instruction.dest_creg)
+    return regs, cregs
+
+
+def compute_liveness(cfg: CFG) -> LivenessInfo:
+    """Iterative backward liveness over the whole CFG."""
+    info: dict[int, BlockLiveness] = {}
+    for bid, block in cfg.blocks.items():
+        liveness = BlockLiveness()
+        # Scan backwards to build use/def with correct kill ordering.
+        for instruction in reversed(block.instructions):
+            def_regs, def_cregs = instruction_defs(instruction)
+            use_regs, use_cregs = instruction_uses(instruction)
+            liveness.use_regs -= def_regs
+            liveness.use_cregs -= def_cregs
+            liveness.def_regs |= def_regs
+            liveness.def_cregs |= def_cregs
+            liveness.use_regs |= use_regs
+            liveness.use_cregs |= use_cregs
+        info[bid] = liveness
+
+    changed = True
+    while changed:
+        changed = False
+        for bid in cfg.blocks:
+            liveness = info[bid]
+            out_regs: set[int] = set()
+            out_cregs: set[int] = set()
+            for succ in cfg.blocks[bid].successors:
+                out_regs |= info[succ].live_in_regs
+                out_cregs |= info[succ].live_in_cregs
+            in_regs = liveness.use_regs | (out_regs - liveness.def_regs)
+            in_cregs = liveness.use_cregs | (out_cregs - liveness.def_cregs)
+            if (
+                in_regs != liveness.live_in_regs
+                or out_regs != liveness.live_out_regs
+                or in_cregs != liveness.live_in_cregs
+                or out_cregs != liveness.live_out_cregs
+            ):
+                liveness.live_in_regs = in_regs
+                liveness.live_out_regs = out_regs
+                liveness.live_in_cregs = in_cregs
+                liveness.live_out_cregs = out_cregs
+                changed = True
+    return LivenessInfo(blocks=info)
+
+
+def live_after_position(
+    cfg: CFG, liveness: LivenessInfo, bid: int, position: int
+) -> set[int]:
+    """Registers live immediately *after* instruction *position* in block *bid*."""
+    block = cfg.blocks[bid]
+    live = set(liveness.blocks[bid].live_out_regs)
+    for instruction in reversed(block.instructions[position + 1 :]):
+        def_regs, _ = instruction_defs(instruction)
+        use_regs, _ = instruction_uses(instruction)
+        live -= def_regs
+        live |= use_regs
+    return live

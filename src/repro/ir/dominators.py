@@ -1,0 +1,135 @@
+"""Dominator and post-dominator analysis.
+
+Implements the Cooper-Harvey-Kennedy iterative algorithm over reverse
+postorder.  Post-dominators are computed on the reversed graph with a
+virtual exit node joining every ``halt`` block (and every block with no
+successors).
+
+Also provides the paper's *equivalent block* relation (footnote 2): block X
+is equivalent to block Y when X dominates Y and Y post-dominates X -- the
+condition under which a join block shares its control dependence with an
+earlier block and need not be duplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.cfg import CFG
+
+VIRTUAL_EXIT = -1
+
+
+@dataclass
+class DominatorInfo:
+    """Immediate-dominator trees for a CFG."""
+
+    idom: dict[int, int | None]
+    ipdom: dict[int, int | None]
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True when *a* dominates *b* (reflexive)."""
+        node: int | None = b
+        while node is not None:
+            if node == a:
+                return True
+            node = self.idom.get(node)
+        return False
+
+    def post_dominates(self, a: int, b: int) -> bool:
+        """True when *a* post-dominates *b* (reflexive)."""
+        node: int | None = b
+        while node is not None and node != VIRTUAL_EXIT:
+            if node == a:
+                return True
+            node = self.ipdom.get(node)
+        return False
+
+    def equivalent(self, x: int, y: int) -> bool:
+        """The paper's footnote-2 relation: X dom Y and Y pdom X."""
+        return self.dominates(x, y) and self.post_dominates(y, x)
+
+
+def _compute_idoms(
+    nodes: list[int],
+    entry: int,
+    preds: dict[int, list[int]],
+) -> dict[int, int | None]:
+    order = {node: position for position, node in enumerate(nodes)}
+    idom: dict[int, int | None] = {node: None for node in nodes}
+    idom[entry] = entry
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while order[a] > order[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while order[b] > order[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            if node == entry:
+                continue
+            candidates = [p for p in preds.get(node, []) if idom.get(p) is not None]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom[node] != new_idom:
+                idom[node] = new_idom
+                changed = True
+
+    idom[entry] = None
+    return idom
+
+
+def compute_dominators(cfg: CFG) -> DominatorInfo:
+    """Compute dominator and post-dominator trees for *cfg*."""
+    rpo = cfg.reverse_postorder()
+    preds = cfg.predecessor_map()
+    idom = _compute_idoms(rpo, cfg.entry, preds)
+
+    # Post-dominators: reverse the graph and add a virtual exit.
+    reachable = set(rpo)
+    reverse_succs: dict[int, list[int]] = {bid: [] for bid in reachable}
+    reverse_succs[VIRTUAL_EXIT] = []
+    exits = []
+    for bid in reachable:
+        succs = [s for s in cfg.blocks[bid].successors if s in reachable]
+        if not succs:
+            exits.append(bid)
+        for succ in succs:
+            reverse_succs[succ].append(bid)
+    for bid in exits:
+        reverse_succs[VIRTUAL_EXIT].append(bid)
+
+    # Reverse postorder of the reversed graph, from the virtual exit.
+    order: list[int] = []
+    seen = {VIRTUAL_EXIT}
+    stack = [(VIRTUAL_EXIT, iter(reverse_succs[VIRTUAL_EXIT]))]
+    while stack:
+        current, iterator = stack[-1]
+        advanced = False
+        for nxt in iterator:
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, iter(reverse_succs[nxt])))
+                advanced = True
+                break
+        if not advanced:
+            order.append(current)
+            stack.pop()
+    order.reverse()
+
+    reverse_preds: dict[int, list[int]] = {node: [] for node in order}
+    for node in order:
+        for succ in reverse_succs.get(node, []):
+            if succ in reverse_preds:
+                reverse_preds[succ].append(node)
+
+    ipdom = _compute_idoms(order, VIRTUAL_EXIT, reverse_preds)
+    return DominatorInfo(idom=idom, ipdom=ipdom)

@@ -1,0 +1,58 @@
+"""Natural-loop detection.
+
+Loop heads are the preferred region/trace seeds ("usually a loop head",
+Section 3.3).  A natural loop is identified from a back edge t -> h where h
+dominates t; its body is every block that can reach t without passing
+through h.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.cfg import CFG
+from repro.ir.dominators import DominatorInfo
+
+
+@dataclass
+class Loop:
+    """One natural loop: header plus body blocks (header included)."""
+
+    header: int
+    body: set[int] = field(default_factory=set)
+    back_edges: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+
+def find_natural_loops(cfg: CFG, dom: DominatorInfo) -> list[Loop]:
+    """All natural loops, merged per header, outermost-first by body size."""
+    loops: dict[int, Loop] = {}
+    reachable = cfg.reachable()
+    for bid in reachable:
+        for succ in cfg.blocks[bid].successors:
+            if succ in reachable and dom.dominates(succ, bid):
+                loop = loops.setdefault(succ, Loop(header=succ, body={succ}))
+                loop.back_edges.append((bid, succ))
+                # Collect the loop body by walking predecessors from the tail.
+                worklist = [bid]
+                while worklist:
+                    node = worklist.pop()
+                    if node in loop.body:
+                        continue
+                    loop.body.add(node)
+                    for pred in cfg.predecessors(node):
+                        if pred in reachable:
+                            worklist.append(pred)
+    return sorted(loops.values(), key=lambda loop: -loop.size)
+
+
+def loop_nest_depth(loops: list[Loop]) -> dict[int, int]:
+    """Nesting depth of every block (0 = not in any loop)."""
+    depth: dict[int, int] = {}
+    for loop in loops:
+        for bid in loop.body:
+            depth[bid] = depth.get(bid, 0) + 1
+    return depth

@@ -1,0 +1,71 @@
+"""Typed instruction operands.
+
+Operands are small frozen value objects so instructions can be hashed,
+compared, and safely shared between compiler passes.  Four kinds exist:
+
+* :class:`Reg` -- a general-purpose register ``r0`` .. ``r31``.
+* :class:`CReg` -- a condition register (CCR entry) ``c0`` .. ``c7``.
+* :class:`Imm` -- a signed integer immediate.
+* :class:`Label` -- a symbolic control-flow target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.registers import NUM_CREGS, NUM_REGS
+
+
+@dataclass(frozen=True, slots=True)
+class Reg:
+    """A general-purpose register operand."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < NUM_REGS:
+            raise ValueError(f"register index out of range: {self.index}")
+
+    def __str__(self) -> str:
+        return f"r{self.index}"
+
+
+@dataclass(frozen=True, slots=True)
+class CReg:
+    """A condition-register (CCR entry) operand."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < NUM_CREGS:
+            raise ValueError(f"condition register index out of range: {self.index}")
+
+    def __str__(self) -> str:
+        return f"c{self.index}"
+
+
+@dataclass(frozen=True, slots=True)
+class Imm:
+    """A signed integer immediate operand."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Label:
+    """A symbolic label operand naming a control-flow target."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("label name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Operand = Reg | CReg | Imm | Label

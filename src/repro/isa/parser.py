@@ -1,0 +1,163 @@
+"""Assembly parser.
+
+Grammar (one instruction per line)::
+
+    line      := [label ':']* [ '[' predicate ']' ] opcode operands? comment?
+    predicate := 'alw' | term ('&' term)*      term := ['!'] 'c' digits
+    operand   := reg ['.s'] | creg | immediate | label-name
+    comment   := '#' anything
+
+Example::
+
+    loop:
+        ld   r1, r2, 0
+        [c0&!c1] add r3.s, r1, r4     # predicated, r3-source read from shadow
+        clt  c0, r1, r5
+        br   c0, loop
+        halt
+
+The ``.s`` suffix on a *source* register marks a shadow-state read (the
+paper's ``r2.s``); destinations never carry it because the control path
+selects the destination storage at run time.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.predicate import parse_predicate
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OPCODES
+from repro.isa.operands import CReg, Imm, Label, Operand, Reg
+from repro.isa.program import Program
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+_REG_RE = re.compile(r"^r(\d+)(\.s)?$")
+_CREG_RE = re.compile(r"^c(\d+)$")
+_IMM_RE = re.compile(r"^[+-]?(0x[0-9a-fA-F]+|\d+)$")
+
+
+class ParseError(ValueError):
+    """Raised on malformed assembly, with line information."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+def _strip_comment(line: str) -> str:
+    index = line.find("#")
+    return line if index < 0 else line[:index]
+
+
+def parse_instruction(text: str) -> Instruction:
+    """Parse a single instruction (no labels), e.g. ``'[c0] add r1, r2, r3'``."""
+    text = _strip_comment(text).strip()
+    if not text:
+        raise ParseError("empty instruction")
+
+    pred = None
+    if text.startswith("["):
+        close = text.find("]")
+        if close < 0:
+            raise ParseError(f"unterminated predicate in {text!r}")
+        pred = parse_predicate(text[1:close])
+        text = text[close + 1 :].strip()
+
+    parts = text.split(None, 1)
+    opcode = parts[0].lower()
+    if opcode not in OPCODES:
+        raise ParseError(f"unknown opcode {opcode!r}")
+    raw_operands = (
+        [token.strip() for token in parts[1].split(",")] if len(parts) > 1 else []
+    )
+    raw_operands = [token for token in raw_operands if token]
+
+    signature = OPCODES[opcode].signature
+    if len(raw_operands) != len(signature):
+        raise ParseError(
+            f"{opcode} expects {len(signature)} operands, got {len(raw_operands)}"
+        )
+
+    operands: list[Operand] = []
+    shadow: set[int] = set()
+    for position, (token, role) in enumerate(zip(raw_operands, signature)):
+        operands.append(_parse_operand(token, role, opcode, position, shadow))
+
+    instruction = Instruction(
+        opcode=opcode,
+        operands=tuple(operands),
+        shadow=frozenset(shadow),
+    )
+    if pred is not None:
+        instruction = instruction.replace(pred=pred)
+    return instruction
+
+
+def _parse_operand(
+    token: str, role: str, opcode: str, position: int, shadow: set[int]
+) -> Operand:
+    if role in ("rd", "rs"):
+        match = _REG_RE.match(token)
+        if not match:
+            raise ParseError(f"{opcode}: expected register, got {token!r}")
+        if match.group(2):
+            if role != "rs":
+                raise ParseError(
+                    f"{opcode}: shadow suffix .s only valid on source registers"
+                )
+            shadow.add(position)
+        try:
+            return Reg(int(match.group(1)))
+        except ValueError as error:
+            raise ParseError(f"{opcode}: {error}") from error
+    if role in ("cd", "cu"):
+        match = _CREG_RE.match(token)
+        if not match:
+            raise ParseError(f"{opcode}: expected condition register, got {token!r}")
+        try:
+            return CReg(int(match.group(1)))
+        except ValueError as error:
+            raise ParseError(f"{opcode}: {error}") from error
+    if role == "imm":
+        if not _IMM_RE.match(token):
+            raise ParseError(f"{opcode}: expected immediate, got {token!r}")
+        return Imm(int(token, 0))
+    if role == "label":
+        if not _LABEL_RE.match(token):
+            raise ParseError(f"{opcode}: expected label, got {token!r}")
+        return Label(token)
+    raise AssertionError(f"unknown operand role {role!r}")
+
+
+def parse_program(text: str, name: str = "program") -> Program:
+    """Parse a multi-line assembly listing into a :class:`Program`."""
+    instructions: list[Instruction] = []
+    labels: dict[str, int] = {}
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        while line:
+            colon = line.find(":")
+            # A leading "name:" is a label definition only when the name is a
+            # valid identifier (so "ld r1, r2, 0" is never misparsed).
+            head = line[:colon].strip() if colon >= 0 else ""
+            if colon >= 0 and _LABEL_RE.match(head):
+                if head in labels:
+                    raise ParseError(f"duplicate label {head!r}", line_number)
+                labels[head] = len(instructions)
+                line = line[colon + 1 :].strip()
+            else:
+                break
+        if not line:
+            continue
+        try:
+            instructions.append(parse_instruction(line))
+        except ParseError as error:
+            raise ParseError(str(error), line_number) from error
+
+    program = Program(instructions=instructions, labels=labels, name=name)
+    program.validate()
+    return program

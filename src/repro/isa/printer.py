@@ -1,0 +1,47 @@
+"""Assembly printer -- inverse of :mod:`repro.isa.parser`.
+
+``parse_program(format_program(p))`` reproduces *p* up to instruction
+``uid``s, which the round-trip property tests rely on.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OPCODES
+from repro.isa.operands import Reg
+from repro.isa.program import Program
+
+
+def format_instruction(instruction: Instruction, *, show_pred: bool = True) -> str:
+    """Render one instruction, e.g. ``'[c0&!c1] add r1, r2.s, r3'``."""
+    tokens = []
+    signature = OPCODES[instruction.opcode].signature
+    for position, operand in enumerate(instruction.operands):
+        text = str(operand)
+        if (
+            position in instruction.shadow
+            and isinstance(operand, Reg)
+            and signature[position] == "rs"
+        ):
+            text += ".s"
+        tokens.append(text)
+    body = instruction.opcode + (" " + ", ".join(tokens) if tokens else "")
+    if show_pred and not instruction.pred.is_always:
+        return f"[{instruction.pred}] {body}"
+    return body
+
+
+def format_program(program: Program) -> str:
+    """Render a full program with labels, parseable by ``parse_program``."""
+    label_lines: dict[int, list[str]] = {}
+    for label, index in program.labels.items():
+        label_lines.setdefault(index, []).append(label)
+
+    lines: list[str] = []
+    for index, instruction in enumerate(program.instructions):
+        for label in label_lines.get(index, []):
+            lines.append(f"{label}:")
+        lines.append("    " + format_instruction(instruction))
+    for label in label_lines.get(len(program.instructions), []):
+        lines.append(f"{label}:")
+    return "\n".join(lines) + "\n"

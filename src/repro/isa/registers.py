@@ -1,0 +1,28 @@
+"""Register-file conventions.
+
+The machine has 32 general-purpose registers ``r0`` .. ``r31``; ``r0`` is
+hardwired to zero (writes to it are discarded), following the MIPS convention
+of the paper's base machine.  Condition registers ``c0`` .. ``c7`` hold branch
+conditions; architecturally they live in the condition code register (CCR).
+A machine configuration may expose fewer CCR entries than ``NUM_CREGS`` (the
+paper evaluates K in {1, 2, 4, 8}); the region-forming compiler allocates CCR
+entries per region and respects the configured K.
+"""
+
+NUM_REGS = 32
+NUM_CREGS = 8
+ZERO_REG = 0
+
+
+def reg_name(index: int) -> str:
+    """Return the assembly name of general register *index* (e.g. ``r7``)."""
+    if not 0 <= index < NUM_REGS:
+        raise ValueError(f"register index out of range: {index}")
+    return f"r{index}"
+
+
+def creg_name(index: int) -> str:
+    """Return the assembly name of condition register *index* (e.g. ``c2``)."""
+    if not 0 <= index < NUM_CREGS:
+        raise ValueError(f"condition register index out of range: {index}")
+    return f"c{index}"

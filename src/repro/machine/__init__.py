@@ -1,0 +1,26 @@
+"""Cycle-level machine models.
+
+* :mod:`repro.machine.config` -- machine configurations (the paper's base
+  4-issue VLIW: 4 ALUs, 4 branch units, 2 load units, 1 store unit, K=4
+  CCR entries; plus the Figure 8 full-issue machines).
+* :mod:`repro.machine.program` -- the VLIW program form: bundles, labels,
+  region boundaries.
+* :mod:`repro.machine.btb` -- the branch-penalty model (the paper's
+  optimistic BTB assumption).
+* :mod:`repro.machine.vliw` -- the predicating VLIW machine: in-order
+  issue, control path, predicated register file and store buffer,
+  future-condition exception recovery.
+* :mod:`repro.machine.scalar` -- the scalar (R3000 stand-in) baseline.
+"""
+
+from repro.machine.config import MachineConfig
+from repro.machine.program import Bundle, VLIWProgram
+from repro.machine.vliw import VLIWMachine, VLIWResult
+
+__all__ = [
+    "Bundle",
+    "MachineConfig",
+    "VLIWMachine",
+    "VLIWProgram",
+    "VLIWResult",
+]

@@ -1,0 +1,49 @@
+"""The scalar baseline machine (the paper's MIPS R3000 stand-in).
+
+The paper measures speedups against R3000 cycle counts collected by pixie.
+Our equivalent: run the scalar program through the functional interpreter,
+whose timing model charges one cycle per instruction, a one-cycle load-use
+interlock stall, and a one-cycle taken-transfer penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.cfg import CFG
+from repro.isa.program import Program
+from repro.sim.interpreter import FaultHandler, run_program
+from repro.sim.memory import Memory
+from repro.sim.trace import DynamicTrace
+
+
+@dataclass
+class ScalarRun:
+    """Cycle count and dynamic behaviour of one scalar execution."""
+
+    cycles: int
+    instructions: int
+    trace: DynamicTrace
+    output: tuple[int, ...]
+
+
+def run_scalar(
+    program: Program,
+    cfg: CFG,
+    memory: Memory,
+    *,
+    fault_handler: FaultHandler | None = None,
+    max_steps: int | None = None,
+) -> ScalarRun:
+    """Execute *program* on the scalar machine; returns cycles and trace."""
+    kwargs = {} if max_steps is None else {"max_steps": max_steps}
+    result = run_program(
+        program, memory, cfg=cfg, fault_handler=fault_handler, **kwargs
+    )
+    assert result.trace is not None
+    return ScalarRun(
+        cycles=result.scalar_cycles,
+        instructions=result.steps,
+        trace=result.trace,
+        output=result.architectural_output,
+    )

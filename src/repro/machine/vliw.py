@@ -1,0 +1,648 @@
+"""The predicating VLIW machine (Figure 1), cycle by cycle.
+
+Each cycle proceeds in the order the paper's Table 1 walkthrough implies:
+
+1. **Commit tick** -- the per-entry hardware of the predicated register
+   file and store buffer re-evaluates every buffered predicate against the
+   CCR (whose conditions were updated at the end of the previous cycle)
+   and commits or squashes buffered state.  Valid non-speculative store
+   buffer heads retire to the D-cache.
+2. **Issue** -- the bundle at PC issues.  The control path evaluates each
+   operation's predicate: TRUE executes non-speculatively, FALSE squashes
+   at issue, UNSPEC executes speculatively (results are routed to the
+   speculative state at writeback).  Control transfers must be specified
+   at issue.
+3. **End of cycle** -- condition-set results update the CCR; then the
+   *combinational* exception check runs: if any buffered E flag's
+   predicate became TRUE, the CCR update is suppressed (the new value goes
+   to the future CCR), all speculative state is invalidated, and the
+   machine rolls back to the RPC in recovery mode (Section 3.5).
+   Otherwise due writebacks are applied (each re-evaluating its predicate:
+   TRUE to the sequential state, UNSPEC to the shadow, FALSE discarded)
+   and a taken transfer updates PC, resets the CCR and records the RPC.
+
+**Recovery mode** issues the same bundles from the RPC, squashing every
+instruction whose predicate is decided (TRUE or FALSE) by the *current
+condition* held in the CCR, and re-executing the rest speculatively.  A
+fault re-raised during recovery is decided against the *future condition*:
+TRUE invokes the fault handler (which repairs state; the access then
+retries), FALSE is ignored, UNSPEC is buffered again.  Recovery ends after
+re-issuing the commit-point bundle (EPC); the future condition is then
+copied into the CCR and normal execution resumes at EPC+1.
+
+Two deliberate timing simplifications, both documented in DESIGN.md:
+
+* a *faulting* speculative operation buffers its E flag at the end of its
+  issue cycle rather than after its full latency, so exception commits are
+  always detected by the combinational check (faults are rare; this does
+  not perturb the non-faulting timing the evaluation measures);
+* at a recovery trigger or region transfer, in-flight results whose
+  predicate is TRUE under the pre-trigger CCR complete immediately, and
+  the remainder are discarded.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.ccr import CCR
+from repro.core.control_path import ControlPath
+from repro.core.exceptions import (
+    FaultKind,
+    FaultRecord,
+    MachineMode,
+    ScheduleViolation,
+    UnhandledFault,
+)
+from repro.core.predicate import ALWAYS, PredValue, Predicate
+from repro.core.regfile import PredicatedRegisterFile
+from repro.core.store_buffer import PredicatedStoreBuffer
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import FuClass
+from repro.isa.registers import NUM_REGS
+from repro.isa.semantics import (
+    ArithmeticFault,
+    effective_address,
+    eval_alu,
+    eval_cond,
+)
+from repro.machine.btb import BranchTargetBuffer
+from repro.machine.config import MachineConfig
+from repro.machine.program import VLIWProgram
+from repro.sim.memory import Memory, MemoryFault
+
+FaultHandler = Callable[[FaultRecord, "VLIWMachine"], bool]
+
+DEFAULT_MAX_CYCLES = 50_000_000
+_MAX_CONSECUTIVE_STALLS = 1_000
+
+
+@dataclass
+class _InFlight:
+    """A result waiting for its writeback cycle."""
+
+    due_cycle: int
+    reg: int
+    value: int
+    pred: Predicate
+
+
+@dataclass
+class CycleEvents:
+    """What one cycle did -- the rows of the paper's Table 1."""
+
+    cycle: int
+    sequential_writes: list[int] = field(default_factory=list)
+    speculative_writes: list[tuple[str, str]] = field(default_factory=list)
+    committed: list[str] = field(default_factory=list)
+    squashed: list[str] = field(default_factory=list)
+    ccr_sets: list[tuple[int, bool]] = field(default_factory=list)
+
+
+@dataclass
+class VLIWResult:
+    """Architectural outcome of one VLIW run."""
+
+    output: list[int]
+    registers: tuple[int, ...]
+    memory: Memory
+    cycles: int
+    bundles_issued: int
+    _issued_ops: int
+    recoveries: int
+    handled_faults: int
+    squashed_ops: int
+    speculative_ops: int
+
+    @property
+    def architectural_output(self) -> tuple[int, ...]:
+        return tuple(self.output)
+
+    @property
+    def ipc(self) -> float:
+        """Useful operations per cycle (squashed issues excluded)."""
+        if self.cycles == 0:
+            return 0.0
+        return (self.useful_ops) / self.cycles
+
+    @property
+    def useful_ops(self) -> int:
+        """Issued operations that were not squashed at issue."""
+        return max(0, self._issued_ops - self.squashed_ops)
+
+
+class VLIWMachine:
+    """In-order N-issue machine with predicated state buffering."""
+
+    def __init__(
+        self,
+        program: VLIWProgram,
+        config: MachineConfig,
+        memory: Memory | None = None,
+        *,
+        fault_handler: FaultHandler | None = None,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+        record_events: bool = False,
+    ):
+        program.validate()
+        self.program = program
+        self.config = config
+        self.memory = memory if memory is not None else Memory()
+        self.fault_handler = fault_handler
+        self.max_cycles = max_cycles
+
+        self.ccr = CCR(config.ccr_entries)
+        self.control_path = ControlPath(self.ccr)
+        self.regfile = PredicatedRegisterFile(
+            NUM_REGS, shadow_capacity=config.shadow_capacity
+        )
+        self.store_buffer = PredicatedStoreBuffer(config.store_buffer_capacity)
+        self.output: list[int] = []
+
+        self.pc = 0
+        self.rpc = 0
+        self.cycle = 0
+        self.mode = MachineMode.NORMAL
+        self.future_ccr: CCR | None = None
+        self.epc: int | None = None
+
+        self._in_flight: list[_InFlight] = []
+        self._region_starts = program.region_starts()
+        self._btb = (
+            BranchTargetBuffer(config.btb_entries)
+            if config.btb_entries is not None
+            else None
+        )
+
+        # Optional per-cycle event log (the Table 1 view).
+        self.events: list[CycleEvents] = []
+        self._cycle_events: CycleEvents | None = None
+        self._record_events = record_events
+
+        # Statistics.
+        self.bundles_issued = 0
+        self.issued_ops = 0
+        self.recoveries = 0
+        self.handled_faults = 0
+        self.squashed_ops = 0
+        self.speculative_ops = 0
+
+        self._check_resources()
+
+    # ------------------------------------------------------------------
+    # Static checks.
+    # ------------------------------------------------------------------
+    def _check_resources(self) -> None:
+        """Reject schedules that oversubscribe the machine's resources."""
+        for index, bundle in enumerate(self.program.bundles):
+            if len(bundle) > self.config.issue_width:
+                raise ScheduleViolation(
+                    f"bundle {index} exceeds issue width: {len(bundle)}"
+                )
+            usage: dict[FuClass, int] = {}
+            for op in bundle:
+                usage[op.fu] = usage.get(op.fu, 0) + 1
+            for fu, used in usage.items():
+                limit = self.config.fu_count(fu)
+                if limit is not None and used > limit:
+                    raise ScheduleViolation(
+                        f"bundle {index} oversubscribes {fu.value}: {used} > {limit}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+    def run(self) -> VLIWResult:
+        halted = False
+        stalls = 0
+        while not halted:
+            if self.cycle >= self.max_cycles:
+                raise RuntimeError(
+                    f"{self.program.name}: exceeded {self.max_cycles} cycles"
+                )
+            if self.pc >= len(self.program.bundles):
+                raise ScheduleViolation("ran off the end of the program")
+
+            self.cycle += 1
+            if self._record_events:
+                self._cycle_events = CycleEvents(cycle=self.cycle)
+                self.events.append(self._cycle_events)
+            self._tick()
+
+            bundle = self.program.bundles[self.pc]
+            if self._must_stall(bundle):
+                stalls += 1
+                if stalls > _MAX_CONSECUTIVE_STALLS:
+                    raise ScheduleViolation("store buffer deadlock")
+                self._apply_due_writebacks(self.ccr)
+                continue
+            stalls = 0
+
+            halted = self._issue_and_finish(bundle)
+        self._drain_at_halt()
+        return VLIWResult(
+            output=list(self.output),
+            registers=self.regfile.sequential_snapshot(),
+            memory=self.memory,
+            cycles=self.cycle,
+            bundles_issued=self.bundles_issued,
+            _issued_ops=self.issued_ops,
+            recoveries=self.recoveries,
+            handled_faults=self.handled_faults,
+            squashed_ops=self.squashed_ops,
+            speculative_ops=self.speculative_ops,
+        )
+
+    def _tick(self) -> None:
+        rf_events = self.regfile.tick(self.ccr)
+        sb_events = self.store_buffer.tick(self.ccr, self.memory, self.output)
+        if self._cycle_events is not None:
+            self._cycle_events.committed += [f"r{r}" for r in rf_events.committed]
+            self._cycle_events.squashed += [f"r{r}" for r in rf_events.squashed]
+            self._cycle_events.committed += [f"sb{s}" for s in sb_events.committed]
+            self._cycle_events.squashed += [f"sb{s}" for s in sb_events.squashed]
+        if rf_events.detected_faults or sb_events.detected_faults:
+            # The combinational end-of-cycle check catches every commit of a
+            # buffered E flag before the tick can see it.
+            raise AssertionError(
+                "exception commit escaped the combinational check"
+            )
+
+    def _must_stall(self, bundle) -> bool:
+        needs_buffer = sum(1 for op in bundle if op.opcode in ("st", "out"))
+        return needs_buffer > 0 and (
+            len(self.store_buffer.pending_entries()) + needs_buffer
+            > self.store_buffer.capacity
+        )
+
+    # ------------------------------------------------------------------
+    # Issue.
+    # ------------------------------------------------------------------
+    def _issue_and_finish(self, bundle) -> bool:
+        """Issue *bundle*, run end-of-cycle steps; returns True on halt."""
+        self.bundles_issued += 1
+        self.issued_ops += len(bundle)
+        in_recovery = self.mode is MachineMode.RECOVERY
+        pending_ccr: list[tuple[int, bool]] = []
+        pending_transfer: str | None = None
+        halted = False
+
+        for op in bundle:
+            verdict = self._verdict(op)
+            if in_recovery and verdict is not PredValue.UNSPEC:
+                # Recovery squashes everything the current condition decides.
+                self.squashed_ops += 1
+                continue
+            if verdict is PredValue.FALSE:
+                self.squashed_ops += 1
+                continue
+            if verdict is PredValue.UNSPEC:
+                self.speculative_ops += 1
+            result = self._execute(op, verdict)
+            if result is not None:
+                kind, payload = result
+                if kind == "ccr":
+                    pending_ccr.append(payload)
+                elif kind == "transfer":
+                    if pending_transfer is not None:
+                        raise ScheduleViolation(
+                            "two taken transfers in one bundle"
+                        )
+                    pending_transfer = payload
+                elif kind == "halt":
+                    halted = True
+
+        # ---- end of cycle -------------------------------------------------
+        ccr_next = self.ccr.clone()
+        for index, value in pending_ccr:
+            ccr_next.set(index, value)
+            if self._cycle_events is not None:
+                self._cycle_events.ccr_sets.append((index, value))
+
+        if self.mode is MachineMode.NORMAL and self._exception_commits(ccr_next):
+            self._enter_recovery(ccr_next)
+            return False
+
+        self.ccr.copy_from(ccr_next)
+        self._apply_due_writebacks(self.ccr)
+
+        if self.mode is MachineMode.RECOVERY and self.pc == self.epc:
+            self._finish_recovery()
+            return False
+
+        if halted:
+            return True
+
+        if pending_transfer is not None:
+            self._transfer(pending_transfer)
+        else:
+            self.pc += 1
+        return False
+
+    def _verdict(self, op: Instruction) -> PredValue:
+        verdict = self.control_path.evaluate(op)
+        if verdict is PredValue.UNSPEC and op.is_cond_set:
+            raise ScheduleViolation(
+                f"condition-set issued with unspecified predicate: {op}"
+            )
+        return verdict
+
+    def _execute(
+        self, op: Instruction, verdict: PredValue
+    ) -> tuple[str, object] | None:
+        """Execute one op; returns a deferred end-of-cycle action."""
+        opcode = op.opcode
+        if opcode == "nop":
+            return None
+        if opcode == "halt":
+            return ("halt", None)
+        if opcode == "jmp":
+            return ("transfer", op.target)
+        if opcode in ("br", "brf"):
+            condition = self.ccr.get(op.src_cregs[0])
+            if condition is None:
+                raise ScheduleViolation(f"branch on unspecified condition: {op}")
+            taken = condition if opcode == "br" else not condition
+            return ("transfer", op.target) if taken else None
+
+        speculative = verdict is PredValue.UNSPEC
+        if opcode == "ld":
+            return self._execute_load(op, speculative)
+        if opcode == "st":
+            self._execute_store(op, speculative)
+            return None
+        if opcode == "out":
+            value = self._read_src(op, 0)
+            self.store_buffer.append(
+                None, value, op.pred, speculative=speculative
+            )
+            return None
+        if op.is_cond_set:
+            values = self._source_values(op)
+            return ("ccr", (op.dest_creg, eval_cond(opcode, *values)))
+
+        # Plain ALU operation.
+        values = self._source_values(op)
+        try:
+            value = eval_alu(opcode, *values)
+        except ArithmeticFault as error:
+            self._handle_fault(
+                op,
+                speculative,
+                FaultRecord(
+                    kind=FaultKind.ARITHMETIC,
+                    instruction_uid=op.uid,
+                    detail=str(error),
+                ),
+                retry=lambda: eval_alu(opcode, *self._source_values(op)),
+            )
+            return None
+        self._schedule_writeback(op, value, speculative)
+        return None
+
+    def _execute_load(
+        self, op: Instruction, speculative: bool
+    ) -> None:
+        address = effective_address(self._read_src(op, 0), op.imm or 0)
+        reader_pred = op.pred if speculative else ALWAYS
+        forwarded = self.store_buffer.lookup(address, reader_pred)
+        if forwarded is not None:
+            self._schedule_writeback(op, forwarded, speculative)
+            return None
+        try:
+            value = self.memory.load(address)
+        except MemoryFault as error:
+            self._handle_fault(
+                op,
+                speculative,
+                FaultRecord(
+                    kind=FaultKind.MEMORY,
+                    instruction_uid=op.uid,
+                    address=error.address,
+                    detail=str(error),
+                ),
+                retry=lambda: self.memory.load(address),
+            )
+            return None
+        self._schedule_writeback(op, value, speculative)
+        return None
+
+    def _execute_store(self, op: Instruction, speculative: bool) -> None:
+        value = self._read_src(op, 0)
+        address = effective_address(self._read_src(op, 1), op.imm or 0)
+        fault: FaultRecord | None = None
+        if not self.memory.is_valid(address):
+            fault = FaultRecord(
+                kind=FaultKind.MEMORY,
+                instruction_uid=op.uid,
+                address=address,
+                detail=f"store to invalid address {address}",
+            )
+            if not speculative:
+                self._handle_nonspeculative_fault(op, fault)
+                # The handler repaired state; the store proceeds.
+                fault = None
+            else:
+                decision = self._future_verdict(op)
+                if decision is PredValue.TRUE:
+                    self._handle_nonspeculative_fault(op, fault)
+                    fault = None
+                elif decision is PredValue.FALSE:
+                    fault = None
+        serial = self.store_buffer.append(
+            address, value, op.pred, speculative=speculative, fault=fault
+        )
+        if self._cycle_events is not None and speculative:
+            self._cycle_events.speculative_writes.append(
+                (f"sb{serial}", str(op.pred))
+            )
+
+    # ------------------------------------------------------------------
+    # Faults.
+    # ------------------------------------------------------------------
+    def _handle_fault(
+        self,
+        op: Instruction,
+        speculative: bool,
+        fault: FaultRecord,
+        retry: Callable[[], int],
+    ) -> None:
+        """Route a fault: trap now (non-speculative) or buffer the E flag.
+
+        In recovery mode a speculative fault is decided against the future
+        condition (Section 3.5): TRUE handles it now (the handler repairs
+        state and the access retries), FALSE squashes it, UNSPEC buffers
+        the E flag again.
+        """
+        if not speculative:
+            self._handle_nonspeculative_fault(op, fault)
+            value = retry()  # the handler repaired state; must now succeed
+            self._schedule_writeback(op, value, speculative=False)
+            return
+        decision = self._future_verdict(op)
+        if decision is PredValue.TRUE:
+            self._handle_nonspeculative_fault(op, fault)
+            value = retry()
+            self._buffer_speculative(op, value, fault=None)
+        elif decision is PredValue.FALSE:
+            self._buffer_speculative(op, 0, fault=None)
+        else:
+            self._buffer_speculative(op, 0, fault=fault)
+
+    def _future_verdict(self, op: Instruction) -> PredValue:
+        """Decide *op*'s fault fate: UNSPEC outside recovery (buffer it)."""
+        if self.mode is MachineMode.NORMAL or self.future_ccr is None:
+            return PredValue.UNSPEC
+        return op.pred.evaluate(self.future_ccr.values())
+
+    def _handle_nonspeculative_fault(
+        self, op: Instruction, fault: FaultRecord
+    ) -> None:
+        if self.fault_handler is None or not self.fault_handler(fault, self):
+            raise UnhandledFault(fault)
+        self.handled_faults += 1
+
+    # ------------------------------------------------------------------
+    # Operand access and writeback.
+    # ------------------------------------------------------------------
+    def _read_src(self, op: Instruction, source_number: int) -> int:
+        positions = op.source_positions()
+        position = positions[source_number]
+        reg = op.src_regs[source_number]
+        return self.regfile.read(
+            reg, shadow=position in op.shadow, reader_pred=op.pred
+        )
+
+    def _source_values(self, op: Instruction) -> list[int]:
+        values = [
+            self._read_src(op, number) for number in range(len(op.src_regs))
+        ]
+        if op.imm is not None:
+            values.append(op.imm)
+        return values
+
+    def _schedule_writeback(
+        self, op: Instruction, value: int, speculative: bool
+    ) -> None:
+        dest = op.dest_reg
+        if dest is None:
+            return
+        pred = op.pred if speculative else ALWAYS
+        self._in_flight.append(
+            _InFlight(
+                due_cycle=self.cycle + op.latency - 1,
+                reg=dest,
+                value=value,
+                pred=pred,
+            )
+        )
+
+    def _buffer_speculative(
+        self, op: Instruction, value: int, fault: FaultRecord | None
+    ) -> None:
+        """Immediate end-of-issue-cycle speculative buffering (fault path)."""
+        dest = op.dest_reg
+        if dest is None:
+            return
+        self.regfile.write_speculative(dest, value, op.pred, fault=fault)
+
+    def _apply_due_writebacks(self, ccr: CCR) -> None:
+        still_flying: list[_InFlight] = []
+        for entry in self._in_flight:
+            if entry.due_cycle > self.cycle:
+                still_flying.append(entry)
+                continue
+            verdict = entry.pred.evaluate(ccr.values())
+            if verdict is PredValue.TRUE:
+                self.regfile.supersede_pending(entry.reg, ccr)
+                self.regfile.write_sequential(entry.reg, entry.value)
+                if self._cycle_events is not None:
+                    self._cycle_events.sequential_writes.append(entry.reg)
+            elif verdict is PredValue.UNSPEC:
+                self.regfile.write_speculative(entry.reg, entry.value, entry.pred)
+                if self._cycle_events is not None:
+                    self._cycle_events.speculative_writes.append(
+                        (f"r{entry.reg}", str(entry.pred))
+                    )
+            # FALSE: discarded.
+        self._in_flight = still_flying
+
+    def _flush_in_flight(self) -> None:
+        """Complete TRUE-under-current in-flight results; drop the rest."""
+        values = self.ccr.values()
+        for entry in self._in_flight:
+            if entry.pred.evaluate(values) is PredValue.TRUE:
+                self.regfile.supersede_pending(entry.reg, self.ccr)
+                self.regfile.write_sequential(entry.reg, entry.value)
+        self._in_flight = []
+
+    # ------------------------------------------------------------------
+    # Exception commit and recovery.
+    # ------------------------------------------------------------------
+    def _exception_commits(self, ccr_next: CCR) -> bool:
+        """Would updating the CCR commit any buffered E flag?"""
+        values = ccr_next.values()
+        for entry in self.regfile.entries:
+            for write in entry.pending:
+                if (
+                    write.fault is not None
+                    and write.pred.evaluate(values) is PredValue.TRUE
+                ):
+                    return True
+        for entry in self.store_buffer.pending_entries():
+            if (
+                entry.valid
+                and entry.speculative
+                and entry.fault is not None
+                and entry.pred.evaluate(values) is PredValue.TRUE
+            ):
+                return True
+        return False
+
+    def _enter_recovery(self, ccr_next: CCR) -> None:
+        """Suppress the CCR update and roll back to the region top."""
+        self.recoveries += 1
+        self.future_ccr = ccr_next
+        self._flush_in_flight()
+        self.regfile.invalidate_speculative()
+        self.store_buffer.invalidate_speculative()
+        self.epc = self.pc
+        self.pc = self.rpc
+        self.mode = MachineMode.RECOVERY
+
+    def _finish_recovery(self) -> None:
+        assert self.future_ccr is not None
+        self._apply_due_writebacks(self.ccr)
+        self.ccr.copy_from(self.future_ccr)
+        self.future_ccr = None
+        self.mode = MachineMode.NORMAL
+        self.pc = self.epc + 1
+        self.epc = None
+
+    # ------------------------------------------------------------------
+    # Transfers and halt.
+    # ------------------------------------------------------------------
+    def _transfer(self, target: str) -> None:
+        destination = self.program.resolve(target)
+        self._flush_in_flight()
+        if destination in self._region_starts:
+            # Region transfer: speculative state is closed in the region --
+            # anything still pending belongs to an untaken path.
+            self.regfile.invalidate_speculative()
+            self.store_buffer.invalidate_speculative()
+            self.ccr.reset()
+            self.rpc = destination
+        if self._btb is not None and not self._btb.access(self.pc):
+            self.cycle += self.config.taken_penalty_indirect
+        else:
+            self.cycle += self.config.taken_penalty_btb
+        self.pc = destination
+
+    def _drain_at_halt(self) -> None:
+        self._flush_in_flight()
+        self.regfile.tick(self.ccr)
+        self.store_buffer.tick(self.ccr, self.memory, self.output)
+        self.regfile.invalidate_speculative()
+        self.store_buffer.invalidate_speculative()
+        self.store_buffer.drain(self.memory, self.output)

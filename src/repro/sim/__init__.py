@@ -1,0 +1,23 @@
+"""Functional simulation substrate (the reproduction's 'pixie').
+
+* :mod:`repro.sim.memory` -- the data memory with NULL-page and bounds
+  fault semantics that make unsafe speculative loads actually fault.
+* :mod:`repro.sim.trace` -- dynamic execution traces: block sequences and
+  branch outcomes, the input to every trace-driven cycle counter.
+* :mod:`repro.sim.interpreter` -- the scalar functional interpreter that
+  executes linear programs, records traces, and applies the R3000-like
+  scalar timing model.
+"""
+
+from repro.sim.interpreter import InterpreterResult, Interpreter, run_program
+from repro.sim.memory import Memory, MemoryFault
+from repro.sim.trace import DynamicTrace
+
+__all__ = [
+    "DynamicTrace",
+    "Interpreter",
+    "InterpreterResult",
+    "Memory",
+    "MemoryFault",
+    "run_program",
+]

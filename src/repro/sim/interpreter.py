@@ -1,0 +1,269 @@
+"""The scalar functional interpreter -- this reproduction's *pixie*.
+
+Executes a linear scalar program (every instruction ``alw``-predicated)
+with the shared opcode semantics, while
+
+* recording the dynamic trace (block sequence + branch outcomes) used by
+  every trace-driven cycle counter and by the branch-prediction analysis;
+* counting cycles under the R3000-like scalar timing model that is the
+  paper's speedup baseline: one cycle per instruction, a one-cycle
+  load-use interlock stall, and a one-cycle taken-control-transfer
+  penalty.
+
+Faults (NULL/bounds loads, zero divisors) invoke an optional handler
+callback; a handler that repairs machine state returns True and the
+faulting instruction re-executes -- the same contract the predicating
+machine's recovery mode uses, so scalar and speculative executions of a
+faulting program remain comparable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.exceptions import FaultKind, FaultRecord, UnhandledFault
+from repro.ir.cfg import CFG
+from repro.isa.instruction import Instruction
+from repro.isa.program import Program
+from repro.isa.registers import NUM_CREGS, NUM_REGS, ZERO_REG
+from repro.isa.semantics import (
+    ArithmeticFault,
+    eval_alu,
+    eval_cond,
+    effective_address,
+)
+from repro.sim.memory import Memory, MemoryFault
+from repro.sim.trace import DynamicTrace
+
+FaultHandler = Callable[[FaultRecord, "Interpreter"], bool]
+
+DEFAULT_MAX_STEPS = 20_000_000
+
+
+class StepLimitExceeded(RuntimeError):
+    """The program ran past the configured step budget (likely livelock)."""
+
+
+@dataclass
+class InterpreterResult:
+    """Everything one scalar run produced."""
+
+    output: list[int]
+    registers: tuple[int, ...]
+    memory: Memory
+    steps: int
+    scalar_cycles: int
+    trace: DynamicTrace | None
+    handled_faults: int
+    halted: bool = True
+
+    @property
+    def architectural_output(self) -> tuple[int, ...]:
+        """The observable output stream (the scalar/VLIW comparison key)."""
+        return tuple(self.output)
+
+
+class Interpreter:
+    """Step-at-a-time scalar executor with trace and timing observers."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Memory | None = None,
+        *,
+        cfg: CFG | None = None,
+        fault_handler: FaultHandler | None = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ):
+        program.validate()
+        for instruction in program.instructions:
+            if not instruction.pred.is_always:
+                raise ValueError(
+                    "the scalar interpreter only executes unpredicated code: "
+                    f"{instruction}"
+                )
+        self.program = program
+        self.memory = memory if memory is not None else Memory()
+        self.fault_handler = fault_handler
+        self.max_steps = max_steps
+        self.registers = [0] * NUM_REGS
+        self.cregs = [False] * NUM_CREGS
+        self.output: list[int] = []
+        self.pc = 0
+        self.steps = 0
+        self.scalar_cycles = 0
+        self.handled_faults = 0
+        self._last_load_dest: int | None = None
+
+        self.trace: DynamicTrace | None = None
+        self._block_of_index: dict[int, int] = {}
+        if cfg is not None:
+            self.trace = DynamicTrace()
+            self._block_of_index = {
+                index: bid for bid, index in getattr(cfg, "start_of", {}).items()
+            }
+
+    # ------------------------------------------------------------------
+    # Register access.
+    # ------------------------------------------------------------------
+    def read_reg(self, reg: int) -> int:
+        return 0 if reg == ZERO_REG else self.registers[reg]
+
+    def write_reg(self, reg: int, value: int) -> None:
+        if reg != ZERO_REG:
+            self.registers[reg] = value
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def run(self) -> InterpreterResult:
+        """Run to ``halt``; returns the collected result."""
+        program_length = len(self.program.instructions)
+        self._note_block_entry(self.pc)
+        while self.pc < program_length:
+            if self.steps >= self.max_steps:
+                raise StepLimitExceeded(
+                    f"{self.program.name}: exceeded {self.max_steps} steps"
+                )
+            instruction = self.program.instructions[self.pc]
+            if instruction.opcode == "halt":
+                self.steps += 1
+                self.scalar_cycles += 1
+                return self._result(halted=True)
+            self._step(instruction)
+        # Fell off the end without halt.
+        return self._result(halted=False)
+
+    def _step(self, instruction: Instruction) -> None:
+        self.steps += 1
+        self.scalar_cycles += 1
+        if self._uses_loaded_value(instruction):
+            self.scalar_cycles += 1  # load-use interlock stall
+        next_load_dest: int | None = None
+
+        opcode = instruction.opcode
+        taken_transfer = False
+        next_pc = self.pc + 1
+
+        try:
+            if opcode == "ld":
+                address = effective_address(
+                    self.read_reg(instruction.src_regs[0]), instruction.imm or 0
+                )
+                value = self.memory.load(address)
+                self.write_reg(instruction.dest_reg, value)
+                next_load_dest = instruction.dest_reg
+            elif opcode == "st":
+                value_reg, addr_reg = instruction.src_regs
+                address = effective_address(
+                    self.read_reg(addr_reg), instruction.imm or 0
+                )
+                self.memory.store(address, self.read_reg(value_reg))
+            elif opcode == "out":
+                self.output.append(self.read_reg(instruction.src_regs[0]))
+            elif opcode == "br" or opcode == "brf":
+                condition = self.cregs[instruction.src_cregs[0]]
+                taken = condition if opcode == "br" else not condition
+                if self.trace is not None:
+                    block = self._block_of_index.get(self._current_block_start(), -1)
+                    self.trace.record_branch(block, instruction.uid, taken)
+                if taken:
+                    next_pc = self.program.resolve(instruction.target)
+                    taken_transfer = True
+            elif opcode == "jmp":
+                next_pc = self.program.resolve(instruction.target)
+                taken_transfer = True
+            elif opcode == "nop":
+                pass
+            elif instruction.is_cond_set:
+                values = [self.read_reg(r) for r in instruction.src_regs]
+                if instruction.imm is not None:
+                    values.append(instruction.imm)
+                self.cregs[instruction.dest_creg] = eval_cond(opcode, *values)
+            else:
+                values = [self.read_reg(r) for r in instruction.src_regs]
+                if instruction.imm is not None:
+                    values.append(instruction.imm)
+                self.write_reg(instruction.dest_reg, eval_alu(opcode, *values))
+        except (MemoryFault, ArithmeticFault) as error:
+            fault = _fault_record(error, instruction)
+            if self.fault_handler is None or not self.fault_handler(fault, self):
+                raise UnhandledFault(fault) from error
+            self.handled_faults += 1
+            return  # re-execute the repaired instruction; pc unchanged
+
+        if taken_transfer:
+            self.scalar_cycles += 1  # taken-transfer penalty
+        self._last_load_dest = next_load_dest
+        self.pc = next_pc
+        if taken_transfer or self.pc in self._block_of_index:
+            self._note_block_entry(self.pc)
+
+    def _uses_loaded_value(self, instruction: Instruction) -> bool:
+        return (
+            self._last_load_dest is not None
+            and self._last_load_dest in instruction.src_regs
+        )
+
+    # ------------------------------------------------------------------
+    # Trace bookkeeping.
+    # ------------------------------------------------------------------
+    def _note_block_entry(self, index: int) -> None:
+        if self.trace is not None and index in self._block_of_index:
+            self.trace.record_block(self._block_of_index[index])
+
+    def _current_block_start(self) -> int:
+        """Start index of the block containing the current pc."""
+        index = self.pc
+        while index not in self._block_of_index and index > 0:
+            index -= 1
+        return index
+
+    def _result(self, halted: bool) -> InterpreterResult:
+        if self.trace is not None:
+            self.trace.instruction_count = self.steps
+        return InterpreterResult(
+            output=list(self.output),
+            registers=tuple(self.registers),
+            memory=self.memory,
+            steps=self.steps,
+            scalar_cycles=self.scalar_cycles,
+            trace=self.trace,
+            handled_faults=self.handled_faults,
+            halted=halted,
+        )
+
+
+def _fault_record(error: Exception, instruction: Instruction) -> FaultRecord:
+    if isinstance(error, MemoryFault):
+        return FaultRecord(
+            kind=FaultKind.MEMORY,
+            instruction_uid=instruction.uid,
+            address=error.address,
+            detail=str(error),
+        )
+    return FaultRecord(
+        kind=FaultKind.ARITHMETIC,
+        instruction_uid=instruction.uid,
+        detail=str(error),
+    )
+
+
+def run_program(
+    program: Program,
+    memory: Memory | None = None,
+    *,
+    cfg: CFG | None = None,
+    fault_handler: FaultHandler | None = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> InterpreterResult:
+    """Convenience wrapper: construct an :class:`Interpreter` and run it."""
+    interpreter = Interpreter(
+        program,
+        memory,
+        cfg=cfg,
+        fault_handler=fault_handler,
+        max_steps=max_steps,
+    )
+    return interpreter.run()

@@ -1,0 +1,95 @@
+"""Data memory with fault semantics.
+
+Addresses below :data:`MIN_VALID_ADDR` (the NULL page) or at/above the
+configured limit fault.  This gives the paper's motivating unsafe-load
+behaviour for real: a speculative load that dereferences a NULL
+next-pointer in the last iteration of a linked-list loop raises
+:class:`MemoryFault` (Section 2.1).
+
+Memory is word-addressed (one 64-bit value per address) -- byte granularity
+adds nothing to the mechanism under study.
+"""
+
+from __future__ import annotations
+
+from repro.isa.semantics import SimFault, to_i64
+
+MIN_VALID_ADDR = 8
+DEFAULT_LIMIT = 1 << 20
+
+
+class MemoryFault(SimFault):
+    """Access to the NULL page or outside the valid address range."""
+
+    def __init__(self, address: int, access: str):
+        super().__init__(f"memory fault: {access} at address {address}")
+        self.address = address
+        self.access = access
+
+
+class Memory:
+    """Sparse word-addressed data memory.
+
+    With ``mapped_only=True`` the memory behaves like a demand-paged
+    address space: accesses to in-range but unmapped words fault, and a
+    fault handler can repair them with :meth:`map` -- the restartable
+    speculative-exception scenario of Section 3.5.
+    """
+
+    __slots__ = ("_words", "limit", "mapped_only")
+
+    def __init__(self, limit: int = DEFAULT_LIMIT, *, mapped_only: bool = False):
+        if limit <= MIN_VALID_ADDR:
+            raise ValueError("memory limit too small")
+        self.limit = limit
+        self.mapped_only = mapped_only
+        self._words: dict[int, int] = {}
+
+    def _check(self, address: int, access: str) -> None:
+        if not MIN_VALID_ADDR <= address < self.limit:
+            raise MemoryFault(address, access)
+        if self.mapped_only and address not in self._words:
+            raise MemoryFault(address, access)
+
+    def map(self, address: int, value: int = 0) -> None:
+        """Map one word (bounds-checked only); the fault-handler repair."""
+        if not MIN_VALID_ADDR <= address < self.limit:
+            raise MemoryFault(address, "map")
+        self._words[address] = to_i64(value)
+
+    def load(self, address: int) -> int:
+        """Read one word; unwritten valid addresses read as zero."""
+        self._check(address, "load")
+        return self._words.get(address, 0)
+
+    def store(self, address: int, value: int) -> None:
+        """Write one word."""
+        self._check(address, "store")
+        self._words[address] = to_i64(value)
+
+    def is_valid(self, address: int) -> bool:
+        """Whether an access to *address* would succeed right now."""
+        if not MIN_VALID_ADDR <= address < self.limit:
+            return False
+        return not self.mapped_only or address in self._words
+
+    # ------------------------------------------------------------------
+    # Workload setup helpers (not architectural operations).
+    # ------------------------------------------------------------------
+    def write_block(self, base: int, values: list[int] | tuple[int, ...]) -> None:
+        """Initialize ``len(values)`` consecutive words starting at *base*."""
+        for offset, value in enumerate(values):
+            self.map(base + offset, value)
+
+    def read_block(self, base: int, count: int) -> list[int]:
+        """Read *count* consecutive words (for tests)."""
+        return [self.load(base + offset) for offset in range(count)]
+
+    def snapshot(self) -> dict[int, int]:
+        """All written words (for end-state comparison)."""
+        return dict(self._words)
+
+    def clone(self) -> Memory:
+        other = Memory(self.limit, mapped_only=self.mapped_only)
+        other._words = dict(self._words)
+        return other

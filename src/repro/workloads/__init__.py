@@ -1,0 +1,18 @@
+"""Benchmark workloads.
+
+The paper evaluates three SPEC programs (compress, eqntott, espresso) and
+three UNIX utilities (grep, li, nroff).  We cannot run the originals, so
+each is replaced by a kernel written in our ISA that mirrors the dominant
+inner loops and -- crucially -- the *branch behaviour* of the original,
+because branch predictability is the variable that drives every figure in
+the paper's evaluation (Table 3): grep and nroff analogues are extremely
+predictable, compress/eqntott/espresso/li analogues are not.
+
+:mod:`repro.workloads.synthetic` additionally generates random structured
+programs with a tunable branch-predictability knob; it powers both the
+property-based compiler-correctness tests and the sensitivity benchmarks.
+"""
+
+from repro.workloads.registry import Workload, all_workloads, get_workload
+
+__all__ = ["Workload", "all_workloads", "get_workload"]

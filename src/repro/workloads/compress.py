@@ -1,0 +1,106 @@
+"""The *compress* analogue: LZW-style hash-probe compression kernel.
+
+SPEC compress spends its time in a hash-table probe loop: hash the
+(prefix, symbol) pair, load the table entry, and branch on hit/miss --
+a data-dependent branch with poor predictability, which is why compress
+is the benchmark where region predicating gains most over trace
+predicating in the paper (Table 3: 4-branch run accuracy only 0.56).
+
+Memory map (word addressed):
+  1000..         input symbols
+  2000..2000+HN  hash-table keys   (0 = empty)
+  3000..3000+HN  hash-table values
+Output: rolling checksum of emitted codes, plus final table statistics.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.parser import parse_program
+from repro.isa.program import Program
+from repro.sim.memory import Memory
+from repro.workloads.registry import Workload
+
+INPUT_BASE = 1000
+KEYS_BASE = 2000
+VALUES_BASE = 3000
+TABLE_SIZE = 256  # power of two
+INPUT_LENGTH = 400
+ALPHABET = 16
+
+_SOURCE = f"""
+# compress analogue: LZW hash-probe loop
+    li   r1, 0              # i
+    li   r2, {INPUT_LENGTH} # n
+    li   r3, 0              # prefix code
+    li   r4, 0              # checksum
+    li   r5, 0              # next free code
+    li   r6, 0              # miss count
+loop:
+    ld   r7, r1, {INPUT_BASE}   # sym = input[i]
+    slli r8, r3, 4
+    xor  r8, r8, r7             # h = (prefix<<4) ^ sym
+    andi r8, r8, {TABLE_SIZE - 1}
+    slli r9, r3, 5
+    add  r9, r9, r7
+    addi r9, r9, 1              # key = prefix*32 + sym + 1 (never 0)
+    ld   r10, r8, {KEYS_BASE}   # probe key
+    ceq  c0, r10, r9            # hit?  (data-dependent, ~coin flip)
+    br   c0, hit
+    # miss: emit prefix, insert (key -> new code), restart with sym
+    add  r4, r4, r3             # checksum += emitted code
+    slli r4, r4, 1
+    andi r4, r4, 65535
+    addi r5, r5, 1              # new code
+    st   r9, r8, {KEYS_BASE}    # keys[h] = key
+    st   r5, r8, {VALUES_BASE}  # values[h] = code
+    addi r6, r6, 1
+    mov  r3, r7                 # prefix = sym
+    jmp  next
+hit:
+    ld   r11, r8, {VALUES_BASE}
+    mov  r3, r11                # prefix = table code
+next:
+    addi r1, r1, 1
+    clt  c1, r1, r2
+    br   c1, loop
+    out  r4
+    out  r5
+    out  r6
+    halt
+"""
+
+
+def build_program() -> Program:
+    return parse_program(_SOURCE, name="compress")
+
+
+def build_memory(seed: int, length: int = INPUT_LENGTH) -> Memory:
+    rng = random.Random(seed)
+    memory = Memory()
+    # Markov-ish symbol stream: repeats make hash hits common enough that
+    # hit/miss is genuinely unpredictable.
+    symbols = []
+    previous = 0
+    for _ in range(length):
+        if rng.random() < 0.5:
+            symbol = previous
+        else:
+            symbol = rng.randrange(ALPHABET)
+        symbols.append(symbol)
+        previous = symbol
+    memory.write_block(INPUT_BASE, symbols)
+    memory.write_block(KEYS_BASE, [0] * TABLE_SIZE)
+    memory.write_block(VALUES_BASE, [0] * TABLE_SIZE)
+    return memory
+
+
+def workload() -> Workload:
+    return Workload(
+        name="compress",
+        description="LZW hash-probe compression kernel (SPEC compress analogue)",
+        program=build_program(),
+        make_memory=build_memory,
+        remarks="hit/miss branch is data-dependent and poorly predictable",
+    )

@@ -1,0 +1,110 @@
+"""The *espresso* analogue: cube-intersection kernel over a PLA cover.
+
+espresso manipulates covers of cubes (bit-paired logic terms); its inner
+loops intersect cube pairs word by word, branching on emptiness and on
+containment -- moderately unpredictable data-dependent branches
+(Table 3: 0.85 single-branch accuracy, decaying quickly).
+
+Memory map:
+  1000.. cover A cubes (CUBE_WORDS words each)
+  2000.. cover B cubes
+  3000.. result scratch
+Output: non-empty intersection count, containment count, checksum.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.parser import parse_program
+from repro.isa.program import Program
+from repro.sim.memory import Memory
+from repro.workloads.registry import Workload
+
+A_BASE = 1000
+B_BASE = 2000
+OUT_BASE = 3000
+NUM_CUBES = 40
+CUBE_WORDS = 4
+
+_SOURCE = f"""
+# espresso analogue: pairwise cube intersection
+    li   r1, 0                 # pair index
+    li   r2, {NUM_CUBES}
+    li   r3, 0                 # non-empty count
+    li   r4, 0                 # containment count
+    li   r5, 0                 # checksum
+pair:
+    muli r6, r1, {CUBE_WORDS}
+    li   r7, 0                 # word index
+    li   r8, 1                 # non-empty flag (all words non-zero)
+    li   r9, 1                 # containment flag (A subset of B)
+word:
+    add  r10, r6, r7
+    ld   r11, r10, {A_BASE}
+    ld   r12, r10, {B_BASE}
+    and  r13, r11, r12         # intersection word
+    st   r13, r10, {OUT_BASE}
+    cnei c0, r13, 0            # word non-empty?  (data dependent)
+    br   c0, nonzero
+    li   r8, 0                 # intersection empty in this word
+nonzero:
+    ceq  c1, r13, r11          # A & B == A  (A covered here)?
+    br   c1, covered
+    li   r9, 0
+covered:
+    add  r5, r5, r13
+    andi r5, r5, 65535
+    addi r7, r7, 1
+    clti c2, r7, {CUBE_WORDS}
+    br   c2, word
+    cnei c3, r8, 0
+    brf  c3, skip_count
+    addi r3, r3, 1             # intersection non-empty
+skip_count:
+    cnei c3, r9, 0
+    brf  c3, skip_cover
+    addi r4, r4, 1             # A contained in B
+skip_cover:
+    addi r1, r1, 1
+    clt  c3, r1, r2
+    br   c3, pair
+    out  r3
+    out  r4
+    out  r5
+    halt
+"""
+
+
+def build_program() -> Program:
+    return parse_program(_SOURCE, name="espresso")
+
+
+def build_memory(seed: int, num_cubes: int = NUM_CUBES) -> Memory:
+    rng = random.Random(seed)
+    memory = Memory()
+    a: list[int] = []
+    b: list[int] = []
+    for _ in range(num_cubes * CUBE_WORDS):
+        # Dense cubes: intersections are usually non-empty but not always,
+        # and containment is genuinely mixed.
+        word_a = rng.getrandbits(12) | rng.getrandbits(12)
+        word_b = rng.getrandbits(12) | rng.getrandbits(12)
+        if rng.random() < 0.3:
+            word_b |= word_a  # sometimes B covers A's word
+        a.append(word_a)
+        b.append(word_b)
+    memory.write_block(A_BASE, a)
+    memory.write_block(B_BASE, b)
+    memory.write_block(OUT_BASE, [0] * (num_cubes * CUBE_WORDS))
+    return memory
+
+
+def workload() -> Workload:
+    return Workload(
+        name="espresso",
+        description="PLA cube-intersection kernel (SPEC espresso analogue)",
+        program=build_program(),
+        make_memory=build_memory,
+        remarks="emptiness/containment branches are data-dependent",
+    )

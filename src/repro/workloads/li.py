@@ -1,0 +1,129 @@
+"""The *li* analogue: Lisp-interpreter evaluation dispatch.
+
+xlisp (SPEC li) spends its time in ``xleval``: dispatch on the type tag
+of each node (fixnum / symbol / cons / nil), follow list structure, and
+update an environment.  The tag-dispatch branches have a skewed but far
+from deterministic distribution (Table 3 places li with compress and
+eqntott in the poorly-predictable group).
+
+Memory map (a heap of tagged cells):
+  1000.. tags   (0 = fixnum, 1 = symbol, 2 = cons, 3 = nil)
+  2000.. car / value field
+  3000.. cdr / next field
+  4000.. symbol value table
+Output: evaluation accumulator, cons count, symbol count.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.parser import parse_program
+from repro.isa.program import Program
+from repro.sim.memory import Memory
+from repro.workloads.registry import Workload
+
+TAG_BASE = 1000
+CAR_BASE = 2000
+CDR_BASE = 3000
+SYMTAB_BASE = 4000
+HEAP_CELLS = 256
+NUM_ROOTS = 48
+ROOTS_BASE = 5000
+SYMBOLS = 32
+
+_SOURCE = f"""
+# li analogue: tagged-cell evaluator loop
+    li   r1, 0                # root index
+    li   r2, {NUM_ROOTS}
+    li   r3, 0                # accumulator
+    li   r4, 0                # cons count
+    li   r5, 0                # symbol count
+root:
+    ld   r6, r1, {ROOTS_BASE} # node = roots[i]
+    li   r7, 0                # walk budget
+walk:
+    ld   r8, r6, {TAG_BASE}   # tag = tags[node]
+    ceqi c0, r8, 2            # cons?
+    br   c0, cons
+    ceqi c1, r8, 1            # symbol?
+    br   c1, symbol
+    ceqi c2, r8, 0            # fixnum?
+    br   c2, fixnum
+    jmp  done                 # nil
+cons:
+    addi r4, r4, 1
+    ld   r9, r6, {CAR_BASE}   # value contribution from car
+    add  r3, r3, r9
+    ld   r6, r6, {CDR_BASE}   # node = cdr(node)
+    addi r7, r7, 1
+    clti c3, r7, 8            # bounded walk
+    br   c3, walk
+    jmp  done
+symbol:
+    addi r5, r5, 1
+    ld   r10, r6, {CAR_BASE}  # symbol id
+    ld   r11, r10, {SYMTAB_BASE}
+    add  r3, r3, r11          # value lookup
+    jmp  done
+fixnum:
+    ld   r12, r6, {CAR_BASE}
+    add  r3, r3, r12
+done:
+    andi r3, r3, 65535
+    addi r1, r1, 1
+    clt  c3, r1, r2
+    br   c3, root
+    out  r3
+    out  r4
+    out  r5
+    halt
+"""
+
+
+def build_program() -> Program:
+    return parse_program(_SOURCE, name="li")
+
+
+def build_memory(seed: int, num_roots: int = NUM_ROOTS) -> Memory:
+    rng = random.Random(seed)
+    memory = Memory()
+    tags: list[int] = []
+    cars: list[int] = []
+    cdrs: list[int] = []
+    for _ in range(HEAP_CELLS):
+        roll = rng.random()
+        if roll < 0.45:
+            tag = 2  # cons
+        elif roll < 0.70:
+            tag = 0  # fixnum
+        elif roll < 0.90:
+            tag = 1  # symbol
+        else:
+            tag = 3  # nil
+        tags.append(tag)
+        if tag == 1:
+            cars.append(rng.randrange(SYMBOLS))
+        else:
+            cars.append(rng.randrange(100))
+        cdrs.append(rng.randrange(HEAP_CELLS))
+    memory.write_block(TAG_BASE, tags)
+    memory.write_block(CAR_BASE, cars)
+    memory.write_block(CDR_BASE, cdrs)
+    memory.write_block(
+        SYMTAB_BASE, [rng.randrange(1000) for _ in range(SYMBOLS)]
+    )
+    memory.write_block(
+        ROOTS_BASE, [rng.randrange(HEAP_CELLS) for _ in range(num_roots)]
+    )
+    return memory
+
+
+def workload() -> Workload:
+    return Workload(
+        name="li",
+        description="tagged-cell evaluator dispatch (xlisp analogue)",
+        program=build_program(),
+        make_memory=build_memory,
+        remarks="type-tag dispatch: skewed but unpredictable branches",
+    )

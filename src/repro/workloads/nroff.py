@@ -1,0 +1,104 @@
+"""The *nroff* analogue: line-filling text formatter.
+
+nroff's hot loop classifies input characters (ordinary vs space vs
+newline) and fills output lines up to a width limit.  Ordinary characters
+dominate, so the classification branches are ~98% predictable -- with
+grep, the benchmark where the paper finds region predicating adds nothing
+over trace predicating.
+
+Memory map:
+  1000.. input characters (0 = space, 1 = newline, 2..27 letters)
+Output: emitted line count, emitted word count, width checksum.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.parser import parse_program
+from repro.isa.program import Program
+from repro.sim.memory import Memory
+from repro.workloads.registry import Workload
+
+INPUT_BASE = 1000
+INPUT_LENGTH = 600
+LINE_WIDTH = 60
+
+_SOURCE = f"""
+# nroff analogue: line filling
+    li   r1, 0                 # i
+    li   r2, {INPUT_LENGTH}
+    li   r3, 0                 # current line width
+    li   r4, 0                 # line count
+    li   r5, 0                 # word count
+    li   r6, 0                 # current word length
+    li   r7, 0                 # checksum
+chars:
+    ld   r8, r1, {INPUT_BASE}
+    ceqi c0, r8, 0             # space?   (uncommon)
+    br   c0, space
+    ceqi c1, r8, 1             # newline? (rare)
+    br   c1, newline
+    addi r6, r6, 1             # ordinary char: extend word
+    add  r7, r7, r8
+    andi r7, r7, 65535
+    jmp  next
+space:
+    add  r9, r3, r6
+    cgti c2, r9, {LINE_WIDTH}  # would the word overflow the line?
+    br   c2, break_line
+    add  r3, r9, r0
+    addi r3, r3, 1             # width += word + space
+    addi r5, r5, 1
+    li   r6, 0
+    jmp  next
+break_line:
+    addi r4, r4, 1             # emit line
+    mov  r3, r6                # word moves to fresh line
+    addi r3, r3, 1
+    addi r5, r5, 1
+    li   r6, 0
+    jmp  next
+newline:
+    addi r4, r4, 1             # forced break
+    li   r3, 0
+    li   r6, 0
+next:
+    addi r1, r1, 1
+    clt  c3, r1, r2
+    br   c3, chars
+    out  r4
+    out  r5
+    out  r7
+    halt
+"""
+
+
+def build_program() -> Program:
+    return parse_program(_SOURCE, name="nroff")
+
+
+def build_memory(seed: int, length: int = INPUT_LENGTH) -> Memory:
+    rng = random.Random(seed)
+    memory = Memory()
+    text: list[int] = []
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.855:
+            text.append(rng.randrange(2, 28))  # ordinary character
+        elif roll < 0.985:
+            text.append(0)  # space
+        else:
+            text.append(1)  # newline
+    memory.write_block(INPUT_BASE, text)
+    return memory
+
+
+def workload() -> Workload:
+    return Workload(
+        name="nroff",
+        description="line-filling formatter kernel (nroff analogue)",
+        program=build_program(),
+        make_memory=build_memory,
+        remarks="character classification is ~98% predictable",
+    )

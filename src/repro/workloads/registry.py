@@ -1,0 +1,61 @@
+"""Workload registry.
+
+A :class:`Workload` bundles a scalar program with its input generator and
+the metadata Table 2 reports.  ``all_workloads`` returns the six
+benchmark analogues in the paper's order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.isa.program import Program
+from repro.sim.memory import Memory
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark-analogue kernel."""
+
+    name: str
+    description: str
+    program: Program
+    make_memory: Callable[[int], Memory]  # seed -> initialized memory
+    train_seed: int = 1
+    eval_seed: int = 2
+    remarks: str = ""
+
+    def train_memory(self) -> Memory:
+        return self.make_memory(self.train_seed)
+
+    def eval_memory(self) -> Memory:
+        return self.make_memory(self.eval_seed)
+
+
+def all_workloads() -> list[Workload]:
+    """The six kernels, in the paper's Table 2 order."""
+    from repro.workloads import (
+        compress,
+        eqntott,
+        espresso,
+        grep,
+        li,
+        nroff,
+    )
+
+    return [
+        compress.workload(),
+        eqntott.workload(),
+        espresso.workload(),
+        grep.workload(),
+        li.workload(),
+        nroff.workload(),
+    ]
+
+
+def get_workload(name: str) -> Workload:
+    for workload in all_workloads():
+        if workload.name == name:
+            return workload
+    raise KeyError(f"unknown workload {name!r}")

@@ -1,0 +1,206 @@
+"""Random structured-program generator.
+
+Generates guaranteed-terminating scalar programs from a seed:
+
+* fixed-trip-count counted loops (possibly nested),
+* data-dependent if/else diamonds whose *bias* is controlled by the
+  ``predictability`` knob (1.0 = branches always go one way, 0.5 =
+  coin-flip), implemented by comparing masked random array data against a
+  quantile threshold,
+* arithmetic over a small register pool, bounded array loads/stores
+  (indices masked to the array size), and observable ``out`` statements.
+
+Uses:
+
+* property-based compiler testing -- for any seed, region-predicated code
+  executed on the cycle-level machine must produce exactly the scalar
+  interpreter's output;
+* the branch-predictability sensitivity sweep in the benchmarks, which
+  reproduces the paper's Table 3 -> Figure 7 causal story with the knob
+  under experimental control.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.isa.parser import parse_program
+from repro.isa.program import Program
+from repro.sim.memory import Memory
+
+ARRAY_SIZE = 64
+ARRAY_BASES = (100, 200, 300, 400)
+
+
+@dataclass
+class SyntheticProgram:
+    """A generated program plus its initial memory image."""
+
+    program: Program
+    memory_image: dict[int, list[int]]
+    seed: int
+    predictability: float
+
+    def make_memory(self) -> Memory:
+        memory = Memory()
+        for base, values in self.memory_image.items():
+            memory.write_block(base, values)
+        return memory
+
+
+class _Builder:
+    def __init__(self, rng: random.Random, predictability: float):
+        self.rng = rng
+        self.predictability = predictability
+        self.lines: list[str] = []
+        self.label_counter = 0
+        # r1..r8: scratch values; r9..r12: loop counters; r13..r16 address
+        # temporaries.  The high registers stay free for the compiler.
+        self.value_regs = [1, 2, 3, 4, 5, 6, 7, 8]
+        self.counter_regs = [9, 10, 11, 12]
+        self.addr_regs = [13, 14, 15, 16]
+
+    def fresh_label(self, stem: str) -> str:
+        self.label_counter += 1
+        return f"{stem}{self.label_counter}"
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    # ------------------------------------------------------------------
+    def random_value_reg(self) -> int:
+        return self.rng.choice(self.value_regs)
+
+    def arith(self) -> None:
+        op = self.rng.choice(
+            ["add", "sub", "xor", "and", "or", "mul", "addi", "slli", "min", "max"]
+        )
+        dest = self.random_value_reg()
+        a = self.random_value_reg()
+        if op.endswith("i"):
+            self.emit(f"{op} r{dest}, r{a}, {self.rng.randrange(1, 7)}")
+        else:
+            b = self.random_value_reg()
+            self.emit(f"{op} r{dest}, r{a}, r{b}")
+
+    def load(self) -> None:
+        base = self.rng.choice(ARRAY_BASES)
+        index = self.random_value_reg()
+        addr = self.rng.choice(self.addr_regs)
+        dest = self.random_value_reg()
+        self.emit(f"andi r{addr}, r{index}, {ARRAY_SIZE - 1}")
+        self.emit(f"ld r{dest}, r{addr}, {base}")
+
+    def store(self) -> None:
+        base = self.rng.choice(ARRAY_BASES)
+        index = self.random_value_reg()
+        addr = self.rng.choice(self.addr_regs)
+        value = self.random_value_reg()
+        self.emit(f"andi r{addr}, r{index}, {ARRAY_SIZE - 1}")
+        self.emit(f"st r{value}, r{addr}, {base}")
+
+    def output(self) -> None:
+        self.emit(f"out r{self.random_value_reg()}")
+
+    def condition(self) -> None:
+        """A data-dependent condition whose bias follows the knob.
+
+        Masked array data is uniform in [0, ARRAY_SIZE); comparing against
+        the quantile at ``predictability`` yields a branch taken with that
+        probability.
+        """
+        threshold = max(1, int(self.predictability * ARRAY_SIZE))
+        value = self.random_value_reg()
+        addr = self.rng.choice(self.addr_regs)
+        scratch = self.random_value_reg()
+        base = self.rng.choice(ARRAY_BASES)
+        # Mix the outer loop counter into the index so the condition's
+        # direction varies across iterations; otherwise a loop-invariant
+        # condition repeats its direction and every branch is perfectly
+        # predictable regardless of the knob.
+        outer_counter = self.counter_regs[0]
+        self.emit(f"add r{addr}, r{value}, r{outer_counter}")
+        self.emit(f"andi r{addr}, r{addr}, {ARRAY_SIZE - 1}")
+        self.emit(f"ld r{scratch}, r{addr}, {base}")
+        self.emit(f"andi r{scratch}, r{scratch}, {ARRAY_SIZE - 1}")
+        self.emit(f"clti c0, r{scratch}, {threshold}")
+
+    def if_else(self, depth: int, budget: int) -> None:
+        self.condition()
+        else_label = self.fresh_label("else")
+        join_label = self.fresh_label("join")
+        # 'br c0' jumps to the likely arm when predictability is high.
+        self.emit(f"brf c0, {else_label}")
+        self.block(depth + 1, budget)
+        self.emit(f"jmp {join_label}")
+        self.emit_label(else_label)
+        self.block(depth + 1, budget)
+        self.emit_label(join_label)
+
+    def loop(self, depth: int, budget: int) -> None:
+        counter = self.counter_regs[depth % len(self.counter_regs)]
+        trips = self.rng.randrange(3, 9)
+        head = self.fresh_label("loop")
+        self.emit(f"li r{counter}, 0")
+        self.emit_label(head)
+        self.block(depth + 1, budget)
+        self.emit(f"addi r{counter}, r{counter}, 1")
+        self.emit(f"clti c1, r{counter}, {trips}")
+        self.emit(f"br c1, {head}")
+
+    def block(self, depth: int, budget: int) -> None:
+        statements = self.rng.randrange(1, max(2, budget))
+        for _ in range(statements):
+            choice = self.rng.random()
+            if choice < 0.35:
+                self.arith()
+            elif choice < 0.55:
+                self.load()
+            elif choice < 0.65:
+                self.store()
+            elif choice < 0.72:
+                self.output()
+            elif choice < 0.90 and depth < 3:
+                self.if_else(depth, max(1, budget - 1))
+            elif depth < 2:
+                self.loop(depth, max(1, budget - 1))
+            else:
+                self.arith()
+
+
+def generate(
+    seed: int, *, predictability: float = 0.7, size: int = 4
+) -> SyntheticProgram:
+    """Generate a random structured program.
+
+    ``size`` scales block statement budgets; ``predictability`` biases
+    every data-dependent branch.
+    """
+    if not 0.0 < predictability <= 1.0:
+        raise ValueError("predictability must be in (0, 1]")
+    rng = random.Random(seed)
+    builder = _Builder(rng, predictability)
+    for reg in builder.value_regs:
+        builder.emit(f"li r{reg}, {rng.randrange(1, ARRAY_SIZE)}")
+    builder.loop(0, size)
+    for reg in builder.value_regs[:3]:
+        builder.emit(f"out r{reg}")
+    builder.emit("halt")
+
+    text = "\n".join(builder.lines) + "\n"
+    program = parse_program(text, name=f"synthetic-{seed}")
+    data_rng = random.Random(seed ^ 0x5EED)
+    image = {
+        base: [data_rng.randrange(0, 1 << 16) for _ in range(ARRAY_SIZE)]
+        for base in ARRAY_BASES
+    }
+    return SyntheticProgram(
+        program=program,
+        memory_image=image,
+        seed=seed,
+        predictability=predictability,
+    )

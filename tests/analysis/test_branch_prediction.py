@@ -1,0 +1,78 @@
+"""Tests for the static predictor and Table 3's metric."""
+
+from repro.analysis.branch_prediction import StaticPredictor, successive_accuracy
+from repro.sim.trace import DynamicTrace
+
+
+def trace_from(outcomes: list[tuple[int, bool]]) -> DynamicTrace:
+    trace = DynamicTrace()
+    for uid, taken in outcomes:
+        trace.record_branch(block=0, uid=uid, taken=taken)
+    return trace
+
+
+class TestStaticPredictor:
+    def test_majority_direction(self):
+        trace = trace_from([(1, True)] * 7 + [(1, False)] * 3)
+        predictor = StaticPredictor.from_trace(trace)
+        assert predictor.predict(1) is True
+        assert abs(predictor.probability(1) - 0.7) < 1e-9
+        assert abs(predictor.confidence(1) - 0.7) < 1e-9
+
+    def test_minority_direction(self):
+        trace = trace_from([(1, False)] * 9 + [(1, True)])
+        predictor = StaticPredictor.from_trace(trace)
+        assert predictor.predict(1) is False
+        assert abs(predictor.confidence(1) - 0.9) < 1e-9
+
+    def test_unseen_branch_defaults(self):
+        predictor = StaticPredictor.from_trace(trace_from([]))
+        assert predictor.predict(42) is False
+        assert predictor.probability(42) == 0.5
+
+    def test_accuracy_on(self):
+        train = trace_from([(1, True)] * 8 + [(1, False)] * 2)
+        predictor = StaticPredictor.from_trace(train)
+        evaluation = trace_from([(1, True)] * 6 + [(1, False)] * 4)
+        assert abs(predictor.accuracy_on(evaluation) - 0.6) < 1e-9
+
+    def test_accuracy_on_empty(self):
+        predictor = StaticPredictor.from_trace(trace_from([]))
+        assert predictor.accuracy_on(trace_from([])) == 1.0
+
+
+class TestSuccessiveAccuracy:
+    def test_perfect_prediction(self):
+        trace = trace_from([(1, True)] * 20)
+        predictor = StaticPredictor.from_trace(trace)
+        accuracies = successive_accuracy(predictor, trace, max_run=4)
+        assert accuracies == [1.0, 1.0, 1.0, 1.0]
+
+    def test_alternating_outcomes(self):
+        # Branch alternates T/F: majority is a tie broken to taken, so
+        # accuracy 0.5 for single branches and 0 for any window of >= 3.
+        trace = trace_from([(1, i % 2 == 0) for i in range(20)])
+        predictor = StaticPredictor.from_trace(trace)
+        accuracies = successive_accuracy(predictor, trace, max_run=3)
+        assert abs(accuracies[0] - 0.5) < 1e-9
+        assert accuracies[2] == 0.0
+
+    def test_decay_is_monotone(self):
+        import random
+
+        rng = random.Random(7)
+        trace = trace_from([(1, rng.random() < 0.8) for _ in range(500)])
+        predictor = StaticPredictor.from_trace(trace)
+        accuracies = successive_accuracy(predictor, trace, max_run=8)
+        for early, late in zip(accuracies, accuracies[1:]):
+            assert late <= early + 1e-9
+
+    def test_window_semantics(self):
+        # Outcomes: T T F T; predictor says T. Windows of 2:
+        # (TT)=ok, (TF)=bad, (FT)=bad -> 1/3.
+        trace = trace_from(
+            [(1, True), (1, True), (1, False), (1, True)]
+        )
+        predictor = StaticPredictor.from_trace(trace)
+        accuracies = successive_accuracy(predictor, trace, max_run=2)
+        assert abs(accuracies[1] - 1 / 3) < 1e-9

@@ -1,0 +1,165 @@
+"""Region-formation tests."""
+
+import pytest
+
+from repro.analysis.branch_prediction import StaticPredictor
+from repro.compiler.regiontree import grow_region
+from repro.core.predicate import ALWAYS
+from repro.ir import build_cfg
+from repro.isa import parse_program
+
+DIAMOND_LOOP = """
+    li   r1, 0
+    li   r2, 64
+loop:
+    ld   r4, r1, 100
+    andi r5, r4, 1
+    ceqi c0, r5, 1
+    br   c0, odd
+    addi r3, r3, 1
+    jmp  next
+odd:
+    addi r3, r3, 2
+next:
+    addi r1, r1, 1
+    clt  c1, r1, r2
+    br   c1, loop
+    out  r3
+    halt
+"""
+
+
+def neutral_predictor(probability=0.5):
+    return StaticPredictor(taken_probability={}, predictions={})
+
+
+def loop_header_of(cfg):
+    return [b.bid for b in cfg.blocks.values() if b.taken_target == b.bid or
+            (b.is_branch_block and b.taken_target in
+             [p for p in cfg.blocks])][0]
+
+
+class TestGrowRegion:
+    def _cfg(self):
+        return build_cfg(parse_program(DIAMOND_LOOP))
+
+    def _loop_head(self, cfg):
+        # The block containing the first load is the loop head.
+        for bid, block in cfg.blocks.items():
+            if any(i.opcode == "ld" for i in block.instructions):
+                return bid
+        raise AssertionError
+
+    def test_region_includes_both_arms(self):
+        cfg = self._cfg()
+        head = self._loop_head(cfg)
+        tree = grow_region(
+            cfg, head, both_arms=True, window_blocks=16,
+            max_conditions=4, predictor=neutral_predictor(),
+            loop_headers=frozenset({head}),
+        )
+        origins = [node.origin for node in tree.nodes.values()]
+        # The header appears once; both branch arms are included; the join
+        # ("next") block is tail-duplicated, once per arm.
+        assert origins.count(head) == 1
+        arms = {cfg.blocks[head].taken_target, cfg.blocks[head].fall_through}
+        assert arms <= set(origins)
+        join = cfg.blocks[cfg.blocks[head].taken_target].fall_through
+        assert origins.count(join) == 2
+
+    def test_trace_includes_one_arm(self):
+        cfg = self._cfg()
+        head = self._loop_head(cfg)
+        tree = grow_region(
+            cfg, head, both_arms=False, window_blocks=16,
+            max_conditions=4, predictor=neutral_predictor(),
+            loop_headers=frozenset({head}),
+        )
+        assert len(tree.nodes) == 3  # head + one arm + join
+
+    def test_back_edges_become_exits_to_header(self):
+        cfg = self._cfg()
+        head = self._loop_head(cfg)
+        tree = grow_region(
+            cfg, head, both_arms=True, window_blocks=16,
+            max_conditions=4, predictor=neutral_predictor(),
+            loop_headers=frozenset({head}),
+        )
+        assert head in tree.exit_targets()
+
+    def test_root_predicate_always(self):
+        cfg = self._cfg()
+        head = self._loop_head(cfg)
+        tree = grow_region(
+            cfg, head, both_arms=True, window_blocks=16,
+            max_conditions=4, predictor=neutral_predictor(),
+            loop_headers=frozenset({head}),
+        )
+        assert tree.nodes[tree.root].pred is ALWAYS or tree.nodes[
+            tree.root
+        ].pred.is_always
+
+    def test_predicates_follow_tree_paths(self):
+        cfg = self._cfg()
+        head = self._loop_head(cfg)
+        tree = grow_region(
+            cfg, head, both_arms=True, window_blocks=16,
+            max_conditions=4, predictor=neutral_predictor(),
+            loop_headers=frozenset({head}),
+        )
+        for node in tree.nodes.values():
+            if node.parent is None:
+                continue
+            parent = tree.nodes[node.parent]
+            assert node.pred.implies(parent.pred)
+            assert node.pred.depth >= parent.pred.depth
+
+    def test_condition_budget_respected(self):
+        cfg = self._cfg()
+        head = self._loop_head(cfg)
+        tree = grow_region(
+            cfg, head, both_arms=True, window_blocks=16,
+            max_conditions=1, predictor=neutral_predictor(),
+            loop_headers=frozenset({head}),
+        )
+        assert tree.conditions_used <= 1
+        # The join's back-edge branch could not be predicated: the join
+        # blocks must head their own regions via exits.
+        for node in tree.nodes.values():
+            assert node.pred.depth <= 1
+
+    def test_window_budget_respected(self):
+        cfg = self._cfg()
+        head = self._loop_head(cfg)
+        tree = grow_region(
+            cfg, head, both_arms=True, window_blocks=2,
+            max_conditions=4, predictor=neutral_predictor(),
+            loop_headers=frozenset({head}),
+        )
+        assert tree.block_count() <= 2
+
+    def test_exit_predicates_pairwise_disjoint(self):
+        cfg = self._cfg()
+        head = self._loop_head(cfg)
+        tree = grow_region(
+            cfg, head, both_arms=True, window_blocks=16,
+            max_conditions=4, predictor=neutral_predictor(),
+            loop_headers=frozenset({head}),
+        )
+        exits = tree.all_exits()
+        assert len(exits) >= 2
+        for i, a in enumerate(exits):
+            for b in exits[i + 1 :]:
+                assert a.pred.disjoint_with(b.pred), (str(a.pred), str(b.pred))
+
+    def test_loop_header_barrier(self):
+        cfg = self._cfg()
+        head = self._loop_head(cfg)
+        entry = cfg.entry
+        tree = grow_region(
+            cfg, entry, both_arms=True, window_blocks=16,
+            max_conditions=4, predictor=neutral_predictor(),
+            loop_headers=frozenset({head}),
+        )
+        assert all(node.origin != head for node in tree.nodes.values())
+        assert head in tree.exit_targets()

@@ -1,0 +1,193 @@
+"""Tests for the list scheduler and the rename-hoist transform."""
+
+from repro.analysis.branch_prediction import StaticPredictor
+from repro.compiler.dependence import build_dependence
+from repro.compiler.list_scheduler import list_schedule
+from repro.compiler.models import GLOBAL, REGION_PRED
+from repro.compiler.predication import Role, linearize
+from repro.compiler.regiontree import grow_region
+from repro.compiler.rename import apply_renaming
+from repro.ir import build_cfg, compute_liveness
+from repro.isa import parse_program
+from repro.machine.config import MachineConfig, base_machine
+
+
+def compile_region(source, policy, *, eliminate, rename=False, config=None):
+    program = parse_program(source)
+    cfg = build_cfg(program)
+    tree = grow_region(
+        cfg, cfg.entry, both_arms=policy.both_arms, window_blocks=16,
+        max_conditions=4, predictor=StaticPredictor({}, {}),
+    )
+    region = linearize(tree, cfg, eliminate_branches=eliminate)
+    liveness = compute_liveness(cfg)
+    live = {b: set(liveness.blocks[b].live_in_regs) for b in cfg.blocks}
+    if rename:
+        apply_renaming(region, policy, live)
+    graph = build_dependence(region, policy, live)
+    schedule = list_schedule(graph, config or base_machine())
+    return region, graph, schedule
+
+
+STRAIGHT = """
+    li r1, 1
+    li r2, 2
+    add r3, r1, r2
+    add r4, r3, r1
+    out r4
+    halt
+"""
+
+
+class TestListScheduler:
+    def test_respects_latencies(self):
+        region, graph, schedule = compile_region(
+            STRAIGHT, REGION_PRED, eliminate=True
+        )
+        cycle = schedule.cycle_of
+        for i, j, lat in graph.edges:
+            assert cycle[j] >= cycle[i] + lat, (i, j, lat)
+
+    def test_respects_issue_width(self):
+        config = MachineConfig(
+            issue_width=1, num_alu=1, num_branch=1, num_load=1, num_store=1
+        )
+        region, graph, schedule = compile_region(
+            STRAIGHT, REGION_PRED, eliminate=True, config=config
+        )
+        for bundle in schedule.bundles:
+            assert len(bundle) <= 1
+
+    def test_respects_fu_limits(self):
+        source = "\n".join(
+            [f"    li r{r}, {r}" for r in range(1, 9)]
+            + [f"    ld r{r}, r{r}, 100" for r in range(1, 9)]
+            + ["    out r1", "    halt"]
+        )
+        region, graph, schedule = compile_region(
+            source, REGION_PRED, eliminate=True
+        )
+        config = base_machine()
+        items = region.items
+        for bundle in schedule.bundles:
+            loads = sum(1 for i in bundle if items[i].instr.is_load)
+            assert loads <= config.num_load
+
+    def test_independent_ops_pack_into_one_cycle(self):
+        source = "    li r1, 1\n    li r2, 2\n    li r3, 3\n    li r4, 4\n    halt"
+        region, graph, schedule = compile_region(
+            source, REGION_PRED, eliminate=True
+        )
+        assert len(schedule.bundles[0]) == 4
+
+    def test_all_items_scheduled_once(self):
+        region, graph, schedule = compile_region(
+            STRAIGHT, REGION_PRED, eliminate=True
+        )
+        seen = [i for bundle in schedule.bundles for i in bundle]
+        assert sorted(seen) == list(range(len(region.items)))
+
+
+BRANCHY = """
+    li r1, 5
+    li r2, 3
+    clt c0, r2, r1
+    br  c0, takearm
+    addi r3, r1, 1
+    jmp join
+takearm:
+    addi r3, r1, 2
+join:
+    out r3
+    halt
+"""
+
+
+class TestRenaming:
+    def test_hoisted_op_becomes_alw_with_copy(self):
+        program = parse_program(BRANCHY)
+        cfg = build_cfg(program)
+        # A 2-block window keeps the join outside the region, so r3 is
+        # live at an exit target and the restoring copy must survive.
+        tree = grow_region(
+            cfg, cfg.entry, both_arms=False, window_blocks=2,
+            max_conditions=4, predictor=StaticPredictor({}, {}),
+        )
+        region = linearize(tree, cfg, eliminate_branches=False)
+        liveness = compute_liveness(cfg)
+        live = {b: set(liveness.blocks[b].live_in_regs) for b in cfg.blocks}
+        before = [item.instr.opcode for item in region.items]
+        apply_renaming(region, GLOBAL, live)
+        after = [item for item in region.items]
+        # The predicated addi was rewritten to alw form...
+        addis = [i for i in after if i.instr.opcode == "addi"]
+        assert any(i.instr.pred.is_always for i in addis)
+        # ...writing a fresh register, with a predicated copy since r3 is
+        # live at the join (the exit target).
+        movs = [i for i in after if i.instr.opcode == "mov"]
+        assert movs and not movs[0].instr.pred.is_always
+        assert len(after) == len(before) + len(movs)
+
+    def test_dead_copy_eliminated_when_join_in_region(self):
+        """When the region swallows the join and copy propagation rewrote
+        every reader, the restoring copy is deleted (the paper's copy
+        elimination)."""
+        program = parse_program(BRANCHY)
+        cfg = build_cfg(program)
+        tree = grow_region(
+            cfg, cfg.entry, both_arms=False, window_blocks=16,
+            max_conditions=4, predictor=StaticPredictor({}, {}),
+        )
+        region = linearize(tree, cfg, eliminate_branches=False)
+        liveness = compute_liveness(cfg)
+        live = {b: set(liveness.blocks[b].live_in_regs) for b in cfg.blocks}
+        apply_renaming(region, GLOBAL, live)
+        assert not [i for i in region.items if i.instr.opcode == "mov"]
+        # The out was rewritten to read the fresh register directly.
+        outs = [i for i in region.items if i.instr.opcode == "out"]
+        assert outs and outs[0].instr.src_regs[0] != 3
+
+    def test_renamed_code_still_correct(self):
+        """Renaming must preserve the schedule-level dependences: the copy
+        writes the home register under the home predicate."""
+        program = parse_program(BRANCHY)
+        cfg = build_cfg(program)
+        tree = grow_region(
+            cfg, cfg.entry, both_arms=False, window_blocks=16,
+            max_conditions=4, predictor=StaticPredictor({}, {}),
+        )
+        region = linearize(tree, cfg, eliminate_branches=False)
+        liveness = compute_liveness(cfg)
+        live = {b: set(liveness.blocks[b].live_in_regs) for b in cfg.blocks}
+        apply_renaming(region, GLOBAL, live)
+        movs = [i for i in region.items if i.instr.opcode == "mov"]
+        for mov in movs:
+            assert mov.instr.dest_reg == 3
+
+    def test_unsafe_ops_not_renamed(self):
+        source = """
+            li r1, 100
+            li r2, 1
+            clti c0, r2, 0
+            br c0, arm
+            jmp join
+        arm:
+            ld r3, r1, 0
+        join:
+            out r3
+            halt
+        """
+        program = parse_program(source)
+        cfg = build_cfg(program)
+        tree = grow_region(
+            cfg, cfg.entry, both_arms=False, window_blocks=16,
+            max_conditions=4,
+            predictor=StaticPredictor({}, {1: True}),
+        )
+        region = linearize(tree, cfg, eliminate_branches=False)
+        liveness = compute_liveness(cfg)
+        live = {b: set(liveness.blocks[b].live_in_regs) for b in cfg.blocks}
+        apply_renaming(region, GLOBAL, live)
+        loads = [i for i in region.items if i.instr.is_load]
+        for load in loads:
+            assert not load.instr.pred.is_always or load.node_id == 0

@@ -1,0 +1,135 @@
+"""Tests for the CFG-level loop unroller."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.unroll import unroll_loops
+from repro.ir import build_cfg, compute_dominators, find_natural_loops
+from repro.isa import parse_program
+from repro.sim.interpreter import run_program
+from repro.sim.memory import Memory
+from repro.workloads import all_workloads
+from repro.workloads.synthetic import generate
+
+COUNTED_LOOP = """
+    li   r1, 0
+    li   r2, 0
+loop:
+    add  r2, r2, r1
+    addi r1, r1, 1
+    clti c0, r1, 10
+    br   c0, loop
+    out  r2
+    halt
+"""
+
+NESTED = """
+    li r1, 0
+    li r3, 0
+outer:
+    li r2, 0
+inner:
+    add r3, r3, r2
+    addi r2, r2, 1
+    clti c0, r2, 4
+    br c0, inner
+    addi r1, r1, 1
+    clti c1, r1, 3
+    br c1, outer
+    out r3
+    halt
+"""
+
+
+class TestStructure:
+    def test_factor_one_is_identity(self):
+        cfg = build_cfg(parse_program(COUNTED_LOOP))
+        unrolled = unroll_loops(cfg, 1)
+        assert len(unrolled.blocks) == len(cfg.blocks)
+
+    def test_factor_validation(self):
+        cfg = build_cfg(parse_program(COUNTED_LOOP))
+        with pytest.raises(ValueError):
+            unroll_loops(cfg, 0)
+
+    def test_body_replicated(self):
+        cfg = build_cfg(parse_program(COUNTED_LOOP))
+        unrolled = unroll_loops(cfg, 3)
+        # The loop block appears three times (original + two copies).
+        origins = [b.origin for b in unrolled.blocks.values()]
+        loop_origin = next(
+            b.origin for b in cfg.blocks.values() if b.is_branch_block
+        )
+        assert origins.count(loop_origin) == 3
+
+    def test_single_loop_header_remains(self):
+        cfg = build_cfg(parse_program(COUNTED_LOOP))
+        unrolled = unroll_loops(cfg, 4)
+        dominators = compute_dominators(unrolled)
+        loops = find_natural_loops(unrolled, dominators)
+        assert len(loops) == 1
+        # The unrolled loop's body is ~factor times larger.
+        assert loops[0].size >= 4
+
+    def test_size_guard(self):
+        cfg = build_cfg(parse_program(COUNTED_LOOP))
+        unrolled = unroll_loops(cfg, 4, max_body_blocks=0)
+        assert len(unrolled.blocks) == len(cfg.blocks)
+
+    def test_nested_loops_both_unrolled(self):
+        cfg = build_cfg(parse_program(NESTED))
+        inner_origin = next(
+            b.origin for b in cfg.blocks.values()
+            if b.taken_target == b.bid
+        )
+        unrolled = unroll_loops(cfg, 2)
+        dominators = compute_dominators(unrolled)
+        loops = find_natural_loops(unrolled, dominators)
+        # Outer loop + the inner loop + the outer copy's own inner loop.
+        assert len(loops) == 3
+        inner_loops = [
+            loop for loop in loops
+            if unrolled.blocks[loop.header].origin == inner_origin
+        ]
+        # Each inner-loop instance is itself unrolled (two body copies).
+        assert inner_loops and all(loop.size == 2 for loop in inner_loops)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("factor", [2, 3, 4])
+    def test_counted_loop_output_preserved(self, factor):
+        program = parse_program(COUNTED_LOOP)
+        base = run_program(program, Memory())
+        unrolled = unroll_loops(build_cfg(program), factor).to_program()
+        assert run_program(unrolled, Memory()).output == base.output
+
+    @pytest.mark.parametrize("factor", [2, 4])
+    def test_nested_output_preserved(self, factor):
+        program = parse_program(NESTED)
+        base = run_program(program, Memory())
+        unrolled = unroll_loops(build_cfg(program), factor).to_program()
+        assert run_program(unrolled, Memory()).output == base.output
+
+    @pytest.mark.parametrize(
+        "name", ["compress", "eqntott", "espresso", "grep", "li", "nroff"]
+    )
+    def test_kernels_preserved(self, name):
+        workload = next(w for w in all_workloads() if w.name == name)
+        base = run_program(workload.program, workload.eval_memory())
+        unrolled = unroll_loops(
+            build_cfg(workload.program), 2
+        ).to_program()
+        result = run_program(unrolled, workload.eval_memory())
+        assert result.output == base.output
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 50_000), factor=st.sampled_from([2, 3]))
+def test_unrolling_preserves_semantics_property(seed, factor):
+    synthetic = generate(seed, predictability=0.6, size=3)
+    base = run_program(synthetic.program, synthetic.make_memory())
+    unrolled = unroll_loops(
+        build_cfg(synthetic.program), factor
+    ).to_program()
+    result = run_program(unrolled, synthetic.make_memory())
+    assert result.output == base.output

@@ -1,0 +1,148 @@
+"""Unit and property tests for predicate vectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.predicate import (
+    ALWAYS,
+    PredValue,
+    Predicate,
+    parse_predicate,
+)
+
+terms = st.dictionaries(st.integers(0, 7), st.booleans(), max_size=4)
+ccr_values = st.dictionaries(
+    st.integers(0, 7), st.sampled_from([True, False, None]), max_size=8
+)
+
+
+class TestBasics:
+    def test_always(self):
+        assert ALWAYS.is_always
+        assert ALWAYS.evaluate({}) is PredValue.TRUE
+        assert str(ALWAYS) == "alw"
+
+    def test_str_form_matches_paper(self):
+        assert str(Predicate({0: True, 1: False})) == "c0&!c1"
+
+    def test_encode_vector(self):
+        # The paper: c1&!c2&c3 -> {1,0,1}; c1&c3 -> {1,X,1} (0-indexed here).
+        assert Predicate({0: True, 1: False, 2: True}).encode(3) == ("1", "0", "1")
+        assert Predicate({0: True, 2: True}).encode(3) == ("1", "X", "1")
+
+    def test_encode_rejects_small_ccr(self):
+        with pytest.raises(ValueError):
+            Predicate({3: True}).encode(2)
+
+    def test_conjoin(self):
+        pred = Predicate({0: True}).conjoin(1, False)
+        assert pred == Predicate({0: True, 1: False})
+
+    def test_conjoin_contradiction(self):
+        with pytest.raises(ValueError):
+            Predicate({0: True}).conjoin(0, False)
+
+    def test_depth(self):
+        assert ALWAYS.depth == 0
+        assert Predicate({0: True, 3: False}).depth == 2
+
+
+class TestEvaluate:
+    def test_true_on_full_match(self):
+        pred = Predicate({0: True, 1: False})
+        assert pred.evaluate({0: True, 1: False}) is PredValue.TRUE
+
+    def test_false_on_mismatch(self):
+        pred = Predicate({0: True, 1: False})
+        assert pred.evaluate({0: True, 1: True}) is PredValue.FALSE
+
+    def test_unspec_dominates_mismatch(self):
+        """The paper's hardware rule: any unspecified unmasked condition
+        forces UNSPEC regardless of the partial match result."""
+        pred = Predicate({0: True, 1: False})
+        assert pred.evaluate({0: False, 1: None}) is PredValue.UNSPEC
+
+    def test_dont_care_ignored(self):
+        pred = Predicate({0: True})
+        assert pred.evaluate({0: True, 1: None, 2: False}) is PredValue.TRUE
+
+
+class TestRelations:
+    def test_implies_subset(self):
+        deeper = Predicate({0: True, 1: False})
+        shallower = Predicate({0: True})
+        assert deeper.implies(shallower)
+        assert not shallower.implies(deeper)
+
+    def test_everything_implies_always(self):
+        assert Predicate({0: True}).implies(ALWAYS)
+
+    def test_disjoint(self):
+        assert Predicate({0: True}).disjoint_with(Predicate({0: False}))
+        assert not Predicate({0: True}).disjoint_with(Predicate({1: False}))
+
+
+class TestParse:
+    def test_parse_examples(self):
+        assert parse_predicate("alw") == ALWAYS
+        assert parse_predicate("c0&!c1") == Predicate({0: True, 1: False})
+        assert parse_predicate(" c2 ") == Predicate({2: True})
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_predicate("c0|c1")
+        with pytest.raises(ValueError):
+            parse_predicate("c0&!c0")
+
+
+@given(terms)
+def test_parse_format_roundtrip(term_dict):
+    pred = Predicate(term_dict)
+    assert parse_predicate(str(pred)) == pred
+
+
+@given(terms, ccr_values)
+def test_true_implies_specified(term_dict, values):
+    """TRUE/FALSE verdicts require every constrained entry specified."""
+    pred = Predicate(term_dict)
+    verdict = pred.evaluate(values)
+    if verdict is not PredValue.UNSPEC:
+        assert all(values.get(i) is not None for i in pred.conditions)
+
+
+@given(terms, terms, ccr_values)
+def test_implication_soundness(p_terms, q_terms, values):
+    """If p implies q and p is TRUE, q is TRUE."""
+    try:
+        p = Predicate(p_terms)
+        q = Predicate(q_terms)
+    except ValueError:
+        return
+    if p.implies(q) and p.evaluate(values) is PredValue.TRUE:
+        assert q.evaluate(values) is PredValue.TRUE
+
+
+@given(terms, terms, ccr_values)
+def test_disjointness_soundness(p_terms, q_terms, values):
+    """Disjoint predicates are never both TRUE."""
+    p = Predicate(p_terms)
+    q = Predicate(q_terms)
+    if p.disjoint_with(q):
+        both_true = (
+            p.evaluate(values) is PredValue.TRUE
+            and q.evaluate(values) is PredValue.TRUE
+        )
+        assert not both_true
+
+
+@given(terms, st.integers(0, 7), st.booleans(), ccr_values)
+def test_conjoin_monotone(term_dict, index, value, values):
+    """A conjoined predicate is never 'more true' than its base."""
+    base = Predicate(term_dict)
+    try:
+        refined = base.conjoin(index, value)
+    except ValueError:
+        return
+    if refined.evaluate(values) is PredValue.TRUE:
+        assert base.evaluate(values) is PredValue.TRUE
+    assert refined.implies(base)

@@ -1,0 +1,255 @@
+"""Tests for the CCR, predicated register file, and store buffer."""
+
+import pytest
+
+from repro.core import CCR, PredicatedRegisterFile, PredicatedStoreBuffer
+from repro.core.counter_predicate import CounterCommitFile, CounterPredicate
+from repro.core.exceptions import FaultKind, FaultRecord, ScheduleViolation
+from repro.core.predicate import ALWAYS, Predicate
+from repro.sim.memory import Memory
+
+C0 = Predicate({0: True})
+NOT_C0 = Predicate({0: False})
+C0_C1 = Predicate({0: True, 1: True})
+
+
+def fault(uid=1):
+    return FaultRecord(kind=FaultKind.MEMORY, instruction_uid=uid, address=0)
+
+
+class TestCCR:
+    def test_starts_unspecified(self):
+        ccr = CCR(4)
+        assert all(ccr.get(i) is None for i in range(4))
+
+    def test_set_get(self):
+        ccr = CCR(4)
+        ccr.set(2, True)
+        assert ccr.get(2) is True and ccr.is_specified(2)
+
+    def test_reset(self):
+        ccr = CCR(2)
+        ccr.set(0, False)
+        ccr.reset()
+        assert ccr.get(0) is None
+
+    def test_copy_from(self):
+        a, b = CCR(3), CCR(3)
+        b.set(1, True)
+        a.copy_from(b)
+        assert a.get(1) is True
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            CCR(2).copy_from(CCR(3))
+
+    def test_bounds(self):
+        with pytest.raises(IndexError):
+            CCR(2).set(2, True)
+
+
+class TestRegisterFile:
+    def test_sequential_write_read(self):
+        rf = PredicatedRegisterFile()
+        rf.write_sequential(3, 42)
+        assert rf.read(3) == 42
+
+    def test_zero_register_immutable(self):
+        rf = PredicatedRegisterFile()
+        rf.write_sequential(0, 99)
+        assert rf.read(0) == 0
+        rf.write_speculative(0, 99, C0)
+        assert rf.read(0, shadow=True) == 0
+
+    def test_speculative_held_until_specified(self):
+        rf, ccr = PredicatedRegisterFile(), CCR(4)
+        rf.write_speculative(5, 7, C0)
+        events = rf.tick(ccr)
+        assert events.committed == [] and events.squashed == []
+        assert rf.read(5) == 0  # sequential unchanged
+        assert rf.read(5, shadow=True) == 7
+
+    def test_commit_on_true(self):
+        rf, ccr = PredicatedRegisterFile(), CCR(4)
+        rf.write_speculative(5, 7, C0)
+        ccr.set(0, True)
+        events = rf.tick(ccr)
+        assert events.committed == [5]
+        assert rf.read(5) == 7
+        assert not rf.has_speculative_state()
+
+    def test_squash_on_false(self):
+        rf, ccr = PredicatedRegisterFile(), CCR(4)
+        rf.write_speculative(5, 7, C0)
+        ccr.set(0, False)
+        events = rf.tick(ccr)
+        assert events.squashed == [5]
+        assert rf.read(5) == 0
+
+    def test_shadow_read_falls_back_to_sequential(self):
+        """The paper's operand-fetch fix: invalid shadow reads sequential."""
+        rf = PredicatedRegisterFile()
+        rf.write_sequential(5, 11)
+        assert rf.read(5, shadow=True) == 11
+
+    def test_same_predicate_overwrites(self):
+        rf = PredicatedRegisterFile()
+        rf.write_speculative(5, 1, C0)
+        rf.write_speculative(5, 2, C0)
+        assert rf.read(5, shadow=True) == 2
+
+    def test_shadow_conflict_raises(self):
+        """Single shadow register: conflicting predicates are a schedule bug."""
+        rf = PredicatedRegisterFile(shadow_capacity=1)
+        rf.write_speculative(5, 1, C0)
+        with pytest.raises(ScheduleViolation):
+            rf.write_speculative(5, 2, NOT_C0)
+
+    def test_infinite_shadow_allows_conflict(self):
+        rf, ccr = PredicatedRegisterFile(shadow_capacity=None), CCR(4)
+        rf.write_speculative(5, 1, C0)
+        rf.write_speculative(5, 2, NOT_C0)
+        ccr.set(0, False)
+        events = rf.tick(ccr)
+        assert events.squashed == [5] and events.committed == [5]
+        assert rf.read(5) == 2
+
+    def test_exception_buffered_then_detected(self):
+        rf, ccr = PredicatedRegisterFile(), CCR(4)
+        rf.write_speculative(5, 0, C0, fault=fault())
+        assert rf.entries[5].flag_e
+        ccr.set(0, True)
+        events = rf.tick(ccr)
+        assert len(events.detected_faults) == 1
+        assert rf.read(5) == 0  # corrupted value never reaches sequential
+
+    def test_exception_squashed_when_false(self):
+        rf, ccr = PredicatedRegisterFile(), CCR(4)
+        rf.write_speculative(5, 0, C0, fault=fault())
+        ccr.set(0, False)
+        events = rf.tick(ccr)
+        assert events.detected_faults == []
+        assert not rf.entries[5].flag_e
+
+    def test_invalidate_speculative(self):
+        rf = PredicatedRegisterFile()
+        rf.write_speculative(5, 7, C0)
+        rf.invalidate_speculative()
+        assert not rf.has_speculative_state()
+
+    def test_alw_speculative_write_rejected(self):
+        rf = PredicatedRegisterFile()
+        with pytest.raises(ValueError):
+            rf.write_speculative(5, 7, ALWAYS)
+
+
+class TestStoreBuffer:
+    def test_nonspeculative_retires_in_order(self):
+        sb, ccr, mem, out = PredicatedStoreBuffer(), CCR(2), Memory(), []
+        sb.append(100, 1, ALWAYS, speculative=False)
+        sb.append(101, 2, ALWAYS, speculative=False)
+        events = sb.tick(ccr, mem, out)
+        assert events.retired_stores == [(100, 1), (101, 2)]
+        assert mem.load(100) == 1 and mem.load(101) == 2
+
+    def test_speculative_blocks_head(self):
+        sb, ccr, mem, out = PredicatedStoreBuffer(), CCR(2), Memory(), []
+        sb.append(100, 1, C0, speculative=True)
+        sb.append(101, 2, ALWAYS, speculative=False)
+        events = sb.tick(ccr, mem, out)
+        assert events.retired_stores == []  # FIFO head unresolved
+
+    def test_commit_then_retire(self):
+        sb, ccr, mem, out = PredicatedStoreBuffer(), CCR(2), Memory(), []
+        sb.append(100, 1, C0, speculative=True)
+        ccr.set(0, True)
+        events = sb.tick(ccr, mem, out)
+        assert events.committed and events.retired_stores == [(100, 1)]
+
+    def test_squash_drops_entry(self):
+        sb, ccr, mem, out = PredicatedStoreBuffer(), CCR(2), Memory(), []
+        sb.append(100, 1, C0, speculative=True)
+        ccr.set(0, False)
+        sb.tick(ccr, mem, out)
+        assert len(sb) == 0
+        with pytest.raises(Exception):
+            mem.load(1 << 30)
+
+    def test_out_stream_ordering(self):
+        sb, ccr, mem, out = PredicatedStoreBuffer(), CCR(2), Memory(), []
+        sb.append(None, 10, ALWAYS, speculative=False)
+        sb.append(None, 20, C0, speculative=True)
+        sb.tick(ccr, mem, out)
+        assert out == [10]
+        ccr.set(0, True)
+        sb.tick(ccr, mem, out)
+        assert out == [10, 20]
+
+    def test_forwarding_nonspeculative(self):
+        sb = PredicatedStoreBuffer()
+        sb.append(100, 5, ALWAYS, speculative=False)
+        assert sb.lookup(100, ALWAYS) == 5
+        assert sb.lookup(200, ALWAYS) is None
+
+    def test_forwarding_newest_wins(self):
+        sb = PredicatedStoreBuffer()
+        sb.append(100, 5, ALWAYS, speculative=False)
+        sb.append(100, 6, ALWAYS, speculative=False)
+        assert sb.lookup(100, ALWAYS) == 6
+
+    def test_forwarding_requires_implication(self):
+        sb = PredicatedStoreBuffer()
+        sb.append(100, 5, C0, speculative=True)
+        assert sb.lookup(100, C0_C1) == 5  # deeper path sees it
+        with pytest.raises(ScheduleViolation):
+            sb.lookup(100, ALWAYS)  # ambiguous: schedule bug
+
+    def test_forwarding_skips_disjoint(self):
+        sb = PredicatedStoreBuffer()
+        sb.append(100, 5, NOT_C0, speculative=True)
+        assert sb.lookup(100, C0) is None
+
+    def test_overflow_raises(self):
+        sb = PredicatedStoreBuffer(capacity=1)
+        sb.append(100, 1, ALWAYS, speculative=False)
+        with pytest.raises(ScheduleViolation):
+            sb.append(101, 2, ALWAYS, speculative=False)
+
+    def test_invalidate_speculative_keeps_committed(self):
+        sb, ccr, mem, out = PredicatedStoreBuffer(), CCR(2), Memory(), []
+        sb.append(100, 1, ALWAYS, speculative=False)
+        sb.append(101, 2, C0, speculative=True)
+        sb.invalidate_speculative()
+        sb.tick(ccr, mem, out)
+        assert mem.load(100) == 1
+        assert len(sb) == 0
+
+    def test_drain(self):
+        sb, mem, out = PredicatedStoreBuffer(), Memory(), []
+        sb.append(100, 1, ALWAYS, speculative=False)
+        sb.drain(mem, out)
+        assert mem.load(100) == 1
+
+
+class TestCounterPredicate:
+    def test_commit_after_n_branches(self):
+        file = CounterCommitFile()
+        file.buffer(key=1, dependent_branches=2)
+        committed, squashed = file.branch_resolved(correct=True)
+        assert committed == [] and squashed == []
+        committed, squashed = file.branch_resolved(correct=True)
+        assert committed == [1]
+
+    def test_mispredict_squashes_all(self):
+        file = CounterCommitFile()
+        file.buffer(1, 2)
+        file.buffer(2, 3)
+        committed, squashed = file.branch_resolved(correct=False)
+        assert committed == [] and squashed == [1, 2]
+        assert file.live_keys() == []
+
+    def test_counter_validation(self):
+        with pytest.raises(ValueError):
+            CounterPredicate(-1)
+        with pytest.raises(ValueError):
+            CounterCommitFile().buffer(1, 0)

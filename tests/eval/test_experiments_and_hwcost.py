@@ -1,0 +1,129 @@
+"""Tests for the evaluation harness on a reduced workload set."""
+
+import pytest
+
+from repro.eval import (
+    ExperimentContext,
+    run_counter_ablation,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_hwcost,
+    run_shadow_ablation,
+    run_table2,
+    run_table3,
+)
+from repro.eval.experiments import geomean
+from repro.eval.hwcost import RegFileParams, analyze
+from repro.eval.report import render_bars, render_table
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def small_ctx():
+    """Two kernels (one predictable, one not) keep these tests fast."""
+    return ExperimentContext([get_workload("grep"), get_workload("li")])
+
+
+class TestContext:
+    def test_baseline_cached(self, small_ctx):
+        workload = small_ctx.workloads[0]
+        first = small_ctx.baseline(workload)
+        second = small_ctx.baseline(workload)
+        assert first is second
+
+    def test_speedup_positive(self, small_ctx):
+        from repro.machine.config import base_machine
+
+        speedup = small_ctx.speedup(
+            small_ctx.workloads[0], "region_pred", base_machine()
+        )
+        assert speedup > 1.0
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert abs(geomean([2.0, 8.0]) - 4.0) < 1e-9
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+
+class TestDrivers:
+    def test_table2_structure(self, small_ctx):
+        result = run_table2(small_ctx)
+        assert [row[0] for row in result.rows] == ["grep", "li"]
+        assert "Table 2" in result.render()
+
+    def test_table3_structure(self, small_ctx):
+        result = run_table3(small_ctx, max_run=4)
+        assert set(result.rows) == {"grep", "li"}
+        assert all(len(v) == 4 for v in result.rows.values())
+        assert "grep" in result.render()
+
+    def test_fig6_models(self, small_ctx):
+        figure = run_fig6(small_ctx)
+        assert figure.models == ["global", "squashing", "trace", "region"]
+        means = figure.geomeans()
+        assert all(value > 1.0 for value in means.values())
+        assert "geomean" in figure.render()
+
+    def test_fig7_validates_on_machine(self, small_ctx):
+        figure = run_fig7(small_ctx)
+        means = figure.geomeans()
+        assert means["region_pred"] >= means["global"]
+
+    def test_fig8_grid(self, small_ctx):
+        result = run_fig8(small_ctx, widths=(2, 4), depths=(1, 4))
+        assert set(result.geomeans) == {(2, 1), (2, 4), (4, 1), (4, 4)}
+        assert result.geomeans[(4, 4)] >= result.geomeans[(4, 1)] - 1e-9
+        assert "Figure 8" in result.render()
+
+    def test_ablations_render(self, small_ctx):
+        shadow = run_shadow_ablation(small_ctx)
+        counter = run_counter_ablation(small_ctx)
+        assert len(shadow.rows) == 2 and len(counter.rows) == 2
+        assert "shadow" in shadow.render()
+        assert "counter" in counter.render().lower()
+
+
+class TestHwCost:
+    def test_paper_bands(self):
+        report = run_hwcost().report
+        assert 0.60 <= report.shadow_ratio <= 0.90
+        assert 0.10 <= report.commit_ratio <= 0.45
+        assert report.predicate_eval_gate_delay == 3
+
+    def test_commit_hardware_scales_with_ccr(self):
+        small = analyze(RegFileParams(ccr_entries=2))
+        large = analyze(RegFileParams(ccr_entries=8))
+        assert large.commit_hardware > small.commit_hardware
+        assert large.shadow_storage == small.shadow_storage
+
+    def test_width_scaling(self):
+        narrow = analyze(RegFileParams(word_bits=32))
+        wide = analyze(RegFileParams(word_bits=64))
+        assert wide.normal_regfile > narrow.normal_regfile
+        # Ratios are roughly width-independent (a structural property).
+        assert abs(wide.shadow_ratio - narrow.shadow_ratio) < 0.1
+
+    def test_render(self):
+        text = run_hwcost().render()
+        assert "0.76" in text and "3 gates" in text
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["x", 1], ["yyy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_render_bars(self):
+        text = render_bars(["one", "two"], [1.0, 2.0], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_render_bars_empty(self):
+        assert render_bars([], [], title="t") == "t"

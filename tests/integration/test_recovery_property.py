@@ -1,0 +1,96 @@
+"""Property test: future-condition recovery under random page faults.
+
+Random structured programs run over a demand-paged memory with a random
+subset of data words not resident.  Speculatively hoisted loads will hit
+unmapped words; depending on how control resolves, the buffered exception
+is either squashed for free or committed, triggering roll-back, recovery
+re-execution, and a pager invocation decided against the future condition.
+
+Oracle: the scalar interpreter with the *same* pager.  Whatever mixture of
+squashes and recoveries the machine goes through, the observable output
+must match the scalar run exactly.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import evaluate_model
+from repro.core.exceptions import FaultKind
+from repro.machine.config import base_machine
+from repro.sim.memory import Memory
+from repro.workloads.synthetic import generate
+
+
+def paged_memory(synthetic, unmap_fraction: float, seed: int):
+    """The synthetic image as demand-paged memory with holes."""
+    backing: dict[int, int] = {}
+    for base, values in synthetic.memory_image.items():
+        for offset, value in enumerate(values):
+            backing[base + offset] = value
+    rng = random.Random(seed)
+    resident = Memory(mapped_only=True)
+    for address, value in backing.items():
+        if rng.random() >= unmap_fraction:
+            resident.map(address, value)
+    return resident, backing
+
+
+def make_pager(backing):
+    stats = {"calls": 0}
+
+    def pager(fault, machine):
+        if fault.kind is FaultKind.MEMORY and fault.address in backing:
+            machine.memory.map(fault.address, backing[fault.address])
+            stats["calls"] += 1
+            return True
+        return False
+
+    return pager, stats
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 50_000),
+    unmap=st.sampled_from([0.1, 0.3, 0.6]),
+)
+def test_recovery_preserves_semantics_under_page_faults(seed, unmap):
+    synthetic = generate(seed, predictability=0.6, size=4)
+    resident, backing = paged_memory(synthetic, unmap, seed ^ 0xFA)
+    pager, _ = make_pager(backing)
+    # evaluate_model compares the machine's output against the scalar
+    # interpreter run with the same pager and raises on any divergence.
+    evaluation = evaluate_model(
+        synthetic.program,
+        "region_pred",
+        base_machine(),
+        train_memory=resident.clone(),
+        eval_memory=resident,
+        fault_handler=pager,
+    )
+    assert evaluation.machine is not None
+    assert evaluation.machine.handled_faults >= 0
+
+
+def test_recoveries_actually_happen():
+    """Across a batch of seeds, at least some runs must take the full
+    recovery path (otherwise the property above proves nothing)."""
+    total_recoveries = 0
+    total_handled = 0
+    for seed in range(30):
+        synthetic = generate(seed, predictability=0.6, size=4)
+        resident, backing = paged_memory(synthetic, 0.4, seed)
+        pager, _ = make_pager(backing)
+        evaluation = evaluate_model(
+            synthetic.program,
+            "region_pred",
+            base_machine(),
+            train_memory=resident.clone(),
+            eval_memory=resident,
+            fault_handler=pager,
+        )
+        assert evaluation.machine is not None
+        total_recoveries += evaluation.machine.recoveries
+        total_handled += evaluation.machine.handled_faults
+    assert total_recoveries > 0, "no run ever entered recovery mode"
+    assert total_handled > 0

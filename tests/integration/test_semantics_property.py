@@ -1,0 +1,104 @@
+"""The central correctness property of the whole reproduction.
+
+For arbitrary generated programs, the region- and trace-predicating
+compilers must emit VLIW code that the cycle-level predicating machine
+executes to *exactly* the scalar interpreter's observable output -- with
+all the machinery engaged: both-arms speculation, predicated state
+buffering, store-buffer forwarding, shadow-operand reads with sequential
+fallback, and region transfers.
+
+A second property cross-checks the trace-driven analytic cycle counter
+against the machine's measured cycles: on fault-free runs they must agree
+exactly, which pins the analytic counter (used for the restricted
+baselines and the big sweeps) to the executable truth.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import evaluate_model
+from repro.machine.config import MachineConfig, base_machine, full_issue_machine
+from repro.workloads.synthetic import generate
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+@settings(**SETTINGS)
+@given(
+    seed=st.integers(0, 100_000),
+    level=st.sampled_from([0.5, 0.75, 0.95]),
+)
+def test_region_predicating_preserves_semantics(seed, level):
+    synthetic = generate(seed, predictability=level, size=4)
+    # evaluate_model raises AssertionError on any architectural divergence.
+    evaluation = evaluate_model(
+        synthetic.program,
+        "region_pred",
+        base_machine(),
+        train_memory=synthetic.make_memory(),
+        eval_memory=synthetic.make_memory(),
+    )
+    assert evaluation.machine is not None
+    assert evaluation.speedup > 0
+
+
+@settings(**SETTINGS)
+@given(seed=st.integers(0, 100_000))
+def test_trace_predicating_preserves_semantics(seed):
+    synthetic = generate(seed, predictability=0.7, size=4)
+    evaluation = evaluate_model(
+        synthetic.program,
+        "trace_pred",
+        base_machine(),
+        train_memory=synthetic.make_memory(),
+        eval_memory=synthetic.make_memory(),
+    )
+    assert evaluation.machine is not None
+
+
+@settings(**SETTINGS)
+@given(seed=st.integers(0, 100_000))
+def test_analytic_counter_matches_machine(seed):
+    synthetic = generate(seed, predictability=0.7, size=4)
+    evaluation = evaluate_model(
+        synthetic.program,
+        "region_pred",
+        base_machine(),
+        train_memory=synthetic.make_memory(),
+        eval_memory=synthetic.make_memory(),
+    )
+    assert evaluation.machine is not None
+    assert evaluation.machine.recoveries == 0
+    assert evaluation.analytic.cycles == evaluation.machine.cycles
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    width=st.sampled_from([2, 8]),
+    depth=st.sampled_from([1, 4]),
+)
+def test_semantics_across_machine_shapes(seed, width, depth):
+    synthetic = generate(seed, predictability=0.6, size=3)
+    evaluation = evaluate_model(
+        synthetic.program,
+        "region_pred",
+        full_issue_machine(width, depth),
+        train_memory=synthetic.make_memory(),
+        eval_memory=synthetic.make_memory(),
+    )
+    assert evaluation.machine is not None
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_infinite_shadow_preserves_semantics(seed):
+    synthetic = generate(seed, predictability=0.6, size=3)
+    config = MachineConfig(shadow_capacity=None)
+    evaluation = evaluate_model(
+        synthetic.program,
+        "region_pred",
+        config,
+        train_memory=synthetic.make_memory(),
+        eval_memory=synthetic.make_memory(),
+    )
+    assert evaluation.machine is not None

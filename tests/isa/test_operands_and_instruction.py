@@ -1,0 +1,116 @@
+"""Unit tests for operands and the Instruction record."""
+
+import pytest
+
+from repro.core.predicate import ALWAYS, Predicate
+from repro.isa import CReg, Imm, Instruction, Label, Reg
+from repro.isa.opcodes import OPCODES, FuClass
+
+
+class TestOperands:
+    def test_reg_str(self):
+        assert str(Reg(7)) == "r7"
+
+    def test_reg_bounds(self):
+        with pytest.raises(ValueError):
+            Reg(32)
+        with pytest.raises(ValueError):
+            Reg(-1)
+
+    def test_creg_bounds(self):
+        with pytest.raises(ValueError):
+            CReg(8)
+
+    def test_label_nonempty(self):
+        with pytest.raises(ValueError):
+            Label("")
+
+    def test_operands_hashable(self):
+        assert len({Reg(1), Reg(1), Reg(2), Imm(1), CReg(1)}) == 4
+
+
+class TestInstruction:
+    def test_add_defs_uses(self):
+        instr = Instruction("add", (Reg(1), Reg(2), Reg(3)))
+        assert instr.dest_reg == 1
+        assert instr.src_regs == (2, 3)
+        assert instr.dest_creg is None
+        assert instr.fu is FuClass.ALU
+        assert instr.latency == 1
+        assert not instr.is_unsafe
+
+    def test_load_properties(self):
+        instr = Instruction("ld", (Reg(1), Reg(2), Imm(4)))
+        assert instr.is_load and instr.is_unsafe
+        assert instr.latency == 2
+        assert instr.fu is FuClass.LOAD
+        assert instr.imm == 4
+
+    def test_store_has_no_dest(self):
+        instr = Instruction("st", (Reg(1), Reg(2), Imm(0)))
+        assert instr.dest_reg is None
+        assert instr.src_regs == (1, 2)
+
+    def test_cond_set(self):
+        instr = Instruction("clt", (CReg(0), Reg(1), Reg(2)))
+        assert instr.is_cond_set
+        assert instr.dest_creg == 0
+        assert instr.fu is FuClass.BRANCH
+
+    def test_branch_targets(self):
+        instr = Instruction("br", (CReg(0), Label("loop")))
+        assert instr.is_conditional_branch and instr.is_control
+        assert instr.target == "loop"
+        assert instr.src_cregs == (0,)
+        assert not instr.is_speculable
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(ValueError):
+            Instruction("add", (Reg(1), Reg(2)))
+
+    def test_wrong_operand_type(self):
+        with pytest.raises(ValueError):
+            Instruction("add", (Reg(1), Reg(2), Imm(3)))
+
+    def test_unknown_opcode(self):
+        with pytest.raises(ValueError):
+            Instruction("frobnicate", ())
+
+    def test_shadow_marker_valid_position(self):
+        instr = Instruction(
+            "add", (Reg(1), Reg(2), Reg(3)), shadow=frozenset({1})
+        )
+        assert 1 in instr.shadow
+
+    def test_shadow_marker_on_dest_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("add", (Reg(1), Reg(2), Reg(3)), shadow=frozenset({0}))
+
+    def test_replace_gives_fresh_uid(self):
+        a = Instruction("add", (Reg(1), Reg(2), Reg(3)))
+        b = a.replace(pred=Predicate({0: True}))
+        assert b.uid != a.uid
+        assert b.pred == Predicate({0: True})
+        assert a.pred is ALWAYS
+
+    def test_rename_reg_dest_only(self):
+        instr = Instruction("add", (Reg(1), Reg(1), Reg(3)))
+        renamed = instr.rename_reg(1, 5, dest=True, srcs=False)
+        assert renamed.dest_reg == 5
+        assert renamed.src_regs == (1, 3)
+
+    def test_rename_reg_srcs_only(self):
+        instr = Instruction("add", (Reg(1), Reg(1), Reg(3)))
+        renamed = instr.rename_reg(1, 5, dest=False, srcs=True)
+        assert renamed.dest_reg == 1
+        assert renamed.src_regs == (5, 3)
+
+    def test_every_opcode_constructible(self):
+        """Every entry of the opcode table can be instantiated."""
+        fillers = {"rd": Reg(1), "rs": Reg(2), "cd": CReg(0), "cu": CReg(0),
+                   "imm": Imm(1), "label": Label("L")}
+        for name, info in OPCODES.items():
+            instr = Instruction(
+                name, tuple(fillers[role] for role in info.signature)
+            )
+            assert instr.opcode == name

@@ -1,0 +1,151 @@
+"""Parser/printer tests, including a hypothesis round-trip property."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.predicate import Predicate
+from repro.isa import (
+    Instruction,
+    OPCODES,
+    ParseError,
+    format_instruction,
+    format_program,
+    parse_instruction,
+    parse_program,
+)
+from repro.isa.operands import CReg, Imm, Label, Reg
+
+
+class TestParseInstruction:
+    def test_simple_add(self):
+        instr = parse_instruction("add r1, r2, r3")
+        assert instr.opcode == "add"
+        assert instr.dest_reg == 1 and instr.src_regs == (2, 3)
+
+    def test_predicated(self):
+        instr = parse_instruction("[c0&!c1] sub r4, r5, r6")
+        assert instr.pred == Predicate({0: True, 1: False})
+
+    def test_alw_predicate_explicit(self):
+        instr = parse_instruction("[alw] add r1, r2, r3")
+        assert instr.pred.is_always
+
+    def test_shadow_source(self):
+        instr = parse_instruction("add r1, r2.s, r3")
+        assert instr.shadow == frozenset({1})
+
+    def test_shadow_on_dest_rejected(self):
+        with pytest.raises(ParseError):
+            parse_instruction("add r1.s, r2, r3")
+
+    def test_load_immediate_offsets(self):
+        assert parse_instruction("ld r1, r2, -8").imm == -8
+        assert parse_instruction("ld r1, r2, 0x10").imm == 16
+
+    def test_comment_stripped(self):
+        instr = parse_instruction("add r1, r2, r3  # hello")
+        assert instr.opcode == "add"
+
+    def test_unknown_opcode(self):
+        with pytest.raises(ParseError):
+            parse_instruction("badop r1, r2, r3")
+
+    def test_wrong_arity(self):
+        with pytest.raises(ParseError):
+            parse_instruction("add r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(ParseError):
+            parse_instruction("add r1, r99, r3")
+
+
+class TestParseProgram:
+    def test_labels_and_branches(self):
+        program = parse_program(
+            """
+            start:
+                li r1, 0
+            loop:
+                addi r1, r1, 1
+                clti c0, r1, 10
+                br c0, loop
+                halt
+            """
+        )
+        assert program.labels == {"start": 0, "loop": 1}
+        assert len(program) == 5
+
+    def test_duplicate_label(self):
+        with pytest.raises(ParseError):
+            parse_program("a:\n nop\na:\n nop")
+
+    def test_undefined_target(self):
+        with pytest.raises(ValueError):
+            parse_program("jmp nowhere")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError, match="line 3"):
+            parse_program("nop\nnop\nbadop r1\n")
+
+    def test_trailing_label(self):
+        program = parse_program("jmp end\nend:")
+        assert program.labels["end"] == 1
+
+
+class TestRoundTrip:
+    def test_program_roundtrip(self):
+        source = """
+        entry:
+            li r1, 5
+            [c0&!c2] add r3, r1.s, r2
+        loop:
+            clt c1, r1, r3
+            br c1, loop
+            out r3
+            halt
+        """
+        program = parse_program(source)
+        text = format_program(program)
+        again = parse_program(text)
+        assert [format_instruction(i) for i in program.instructions] == [
+            format_instruction(i) for i in again.instructions
+        ]
+        # Shadow markers and predicates survive the round trip.
+        assert again.instructions[1].shadow == frozenset({1})
+        assert again.instructions[1].pred == Predicate({0: True, 2: False})
+
+
+def _instruction_strategy():
+    """Random well-formed instructions over the whole opcode table."""
+    fillers = {
+        "rd": st.integers(0, 31).map(Reg),
+        "rs": st.integers(0, 31).map(Reg),
+        "cd": st.integers(0, 7).map(CReg),
+        "cu": st.integers(0, 7).map(CReg),
+        "imm": st.integers(-(2**31), 2**31 - 1).map(Imm),
+        "label": st.just(Label("L")),
+    }
+
+    def build(name, pred_terms):
+        info = OPCODES[name]
+        return st.tuples(
+            *[fillers[role] for role in info.signature]
+        ).map(
+            lambda operands: Instruction(
+                name, operands, pred=Predicate(pred_terms)
+            )
+        )
+
+    pred = st.dictionaries(st.integers(0, 7), st.booleans(), max_size=3)
+    return st.sampled_from(sorted(OPCODES)).flatmap(
+        lambda name: pred.flatmap(lambda terms: build(name, terms))
+    )
+
+
+@given(_instruction_strategy())
+def test_instruction_text_roundtrip(instr):
+    """parse(format(i)) reproduces i for arbitrary instructions."""
+    again = parse_instruction(format_instruction(instr))
+    assert again.opcode == instr.opcode
+    assert again.operands == instr.operands
+    assert again.pred == instr.pred

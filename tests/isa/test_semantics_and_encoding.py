@@ -1,0 +1,123 @@
+"""Tests for opcode semantics and the encoding cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import (
+    region_predicating_cost,
+    trace_predicating_cost,
+)
+from repro.isa.semantics import (
+    ArithmeticFault,
+    eval_alu,
+    eval_cond,
+    to_i64,
+)
+
+i64 = st.integers(-(2**63), 2**63 - 1)
+
+
+class TestToI64:
+    def test_wraps_positive_overflow(self):
+        assert to_i64(2**63) == -(2**63)
+
+    def test_identity_in_range(self):
+        assert to_i64(42) == 42
+        assert to_i64(-(2**63)) == -(2**63)
+        assert to_i64(2**63 - 1) == 2**63 - 1
+
+
+class TestAluSemantics:
+    @pytest.mark.parametrize(
+        "opcode, a, b, expected",
+        [
+            ("add", 2, 3, 5),
+            ("sub", 2, 3, -1),
+            ("mul", -4, 3, -12),
+            ("div", 7, 2, 3),
+            ("div", -7, 2, -3),  # truncating, like MIPS
+            ("rem", 7, 2, 1),
+            ("rem", -7, 2, -1),
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("or", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("sll", 1, 4, 16),
+            ("srl", -1, 60, 15),
+            ("sra", -16, 2, -4),
+            ("slt", 1, 2, 1),
+            ("slt", 2, 1, 0),
+            ("seq", 5, 5, 1),
+            ("min", 3, -2, -2),
+            ("max", 3, -2, 3),
+        ],
+    )
+    def test_binary_ops(self, opcode, a, b, expected):
+        assert eval_alu(opcode, a, b) == expected
+
+    def test_li_mov(self):
+        assert eval_alu("li", 9) == 9
+        assert eval_alu("mov", -3) == -3
+
+    def test_immediates(self):
+        assert eval_alu("addi", 10, -3) == 7
+        assert eval_alu("slti", 1, 2) == 1
+
+    def test_div_by_zero_faults(self):
+        with pytest.raises(ArithmeticFault):
+            eval_alu("div", 1, 0)
+        with pytest.raises(ArithmeticFault):
+            eval_alu("rem", 1, 0)
+
+    @given(i64, i64)
+    def test_add_wraps_like_hardware(self, a, b):
+        assert eval_alu("add", a, b) == to_i64(a + b)
+
+    @given(i64, st.integers(-(2**63), -1).filter(lambda x: x != 0))
+    def test_div_sign_identity(self, a, b):
+        quotient = eval_alu("div", a, b)
+        remainder = eval_alu("rem", a, b)
+        assert to_i64(quotient * b + remainder) == a
+
+
+class TestCondSemantics:
+    @pytest.mark.parametrize(
+        "opcode, a, b, expected",
+        [
+            ("clt", 1, 2, True),
+            ("cle", 2, 2, True),
+            ("cgt", 2, 1, True),
+            ("cge", 1, 2, False),
+            ("ceq", 3, 3, True),
+            ("cne", 3, 3, False),
+        ],
+    )
+    def test_compares(self, opcode, a, b, expected):
+        assert eval_cond(opcode, a, b) is expected
+
+    def test_immediate_compares(self):
+        assert eval_cond("clti", 1, 2) is True
+        assert eval_cond("ceqi", 7, 7) is True
+
+
+class TestEncodingCost:
+    def test_region_k4_is_about_one_byte(self):
+        """The paper: 2*K predicate bits + 1 bit/source ~= one byte for K=4."""
+        cost = region_predicating_cost(4)
+        assert cost.predicate_bits == 8
+        assert cost.shadow_select_bits == 2
+        assert 8 <= cost.overhead_bits <= 12
+
+    def test_trace_needs_log_bits(self):
+        assert trace_predicating_cost(4).predicate_bits == 3  # ceil(log2(5))
+        assert trace_predicating_cost(1).predicate_bits == 1
+
+    def test_trace_cheaper_than_region(self):
+        for k in (1, 2, 4, 8):
+            assert (
+                trace_predicating_cost(k).overhead_bits
+                <= region_predicating_cost(k).overhead_bits
+            )
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            region_predicating_cost(0)

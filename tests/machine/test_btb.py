@@ -1,0 +1,58 @@
+"""Tests for the branch target buffer model."""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler import evaluate_model
+from repro.machine.btb import BranchTargetBuffer
+from repro.machine.config import base_machine
+from repro.workloads import get_workload
+
+
+class TestBtb:
+    def test_first_access_misses_then_hits(self):
+        btb = BranchTargetBuffer(16)
+        assert btb.access("loop") is False
+        assert btb.access("loop") is True
+        assert btb.hits == 1 and btb.misses == 1
+
+    def test_conflict_eviction(self):
+        btb = BranchTargetBuffer(1)
+        assert btb.access("a") is False
+        assert btb.access("b") is False  # evicts a
+        assert btb.access("a") is False  # evicted
+
+    def test_hit_rate(self):
+        btb = BranchTargetBuffer(8)
+        assert btb.hit_rate == 1.0
+        btb.access("x")
+        for _ in range(9):
+            btb.access("x")
+        assert btb.hit_rate == 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(0)
+
+
+class TestMachineIntegration:
+    def test_finite_btb_costs_a_little(self):
+        workload = get_workload("grep")
+        results = {}
+        for label, config in (
+            ("optimistic", base_machine()),
+            ("finite", dataclasses.replace(base_machine(), btb_entries=64)),
+            ("tiny", dataclasses.replace(base_machine(), btb_entries=1)),
+        ):
+            evaluation = evaluate_model(
+                workload.program, "region_pred", config,
+                train_memory=workload.train_memory(),
+                eval_memory=workload.eval_memory(),
+            )
+            results[label] = evaluation.machine.cycles
+        assert results["optimistic"] <= results["finite"] <= results["tiny"]
+        # Steady-state loops: a big BTB costs only compulsory misses.
+        assert results["finite"] <= results["optimistic"] * 1.05
+        # A one-entry BTB thrashes between the loop back edge and exits.
+        assert results["tiny"] > results["finite"]

@@ -1,0 +1,191 @@
+"""Edge-case tests for the VLIW machine and its program form."""
+
+import pytest
+
+from repro.core.exceptions import ScheduleViolation
+from repro.isa.parser import parse_instruction as P
+from repro.machine import Bundle, VLIWMachine, VLIWProgram
+from repro.machine.config import MachineConfig, base_machine
+from repro.machine.program import RegionSpan
+from repro.sim.memory import Memory
+
+
+def program(bundle_specs, labels, regions):
+    return VLIWProgram(
+        bundles=[Bundle(tuple(P(text) for text in spec)) for spec in bundle_specs],
+        labels=labels,
+        regions=[RegionSpan(*span) for span in regions],
+    )
+
+
+class TestProgramValidation:
+    def test_regions_must_cover_program(self):
+        prog = program([["nop"], ["halt"]], {"R0": 0}, [("R0", 0, 1)])
+        with pytest.raises(ValueError, match="cover"):
+            prog.validate()
+
+    def test_regions_must_not_overlap(self):
+        prog = program(
+            [["nop"], ["halt"]],
+            {"R0": 0, "R1": 0},
+            [("R0", 0, 2), ("R1", 0, 1)],
+        )
+        with pytest.raises(ValueError, match="overlap"):
+            prog.validate()
+
+    def test_label_must_match_region_start(self):
+        prog = program(
+            [["nop"], ["halt"]], {"R0": 1}, [("R0", 0, 2)]
+        )
+        with pytest.raises(ValueError, match="mismatch"):
+            prog.validate()
+
+    def test_undefined_jump_target(self):
+        prog = program([["jmp nowhere"], ["halt"]], {"R0": 0}, [("R0", 0, 2)])
+        with pytest.raises(ValueError, match="nowhere"):
+            prog.validate()
+
+    def test_format_lists_labels_and_bundles(self):
+        prog = program(
+            [["li r1, 1", "li r2, 2"], ["halt"]], {"R0": 0}, [("R0", 0, 2)]
+        )
+        text = prog.format()
+        assert "R0:" in text and "li r1, 1 ; li r2, 2" in text
+
+
+class TestMachineEdges:
+    def test_empty_bundles_cost_a_cycle(self):
+        prog = VLIWProgram(
+            bundles=[Bundle((P("li r1, 7"),)), Bundle(()), Bundle((P("out r1"), P("halt")))],
+            labels={"R0": 0},
+            regions=[RegionSpan("R0", 0, 3)],
+        )
+        result = VLIWMachine(prog, base_machine(), Memory()).run()
+        assert result.output == [7]
+        assert result.cycles == 3
+
+    def test_store_buffer_stall(self):
+        """A full store buffer with an unresolved speculative head stalls
+        issue until the head resolves."""
+        config = MachineConfig(store_buffer_capacity=1)
+        prog = program(
+            [
+                ["li r1, 100", "li r2, 5"],
+                ["[c0] st r2, r1, 0"],  # fills the 1-entry buffer
+                ["ceqi c0, r2, 5"],  # resolves c0 (true)
+                ["st r2, r1, 1"],  # must stall until the head retires
+                ["nop"],
+                ["halt"],
+            ],
+            {"R0": 0},
+            [("R0", 0, 6)],
+        )
+        memory = Memory()
+        result = VLIWMachine(prog, config, memory).run()
+        assert memory.load(100) == 5 and memory.load(101) == 5
+        assert result.cycles >= 6
+
+    def test_store_buffer_deadlock_detected(self):
+        """An unresolvable speculative head with a full buffer deadlocks,
+        which the machine reports as a schedule violation."""
+        config = MachineConfig(store_buffer_capacity=1)
+        prog = program(
+            [
+                ["li r1, 100", "li r2, 5"],
+                ["[c0] st r2, r1, 0"],  # c0 never set
+                ["st r2, r1, 1"],
+                ["halt"],
+            ],
+            {"R0": 0},
+            [("R0", 0, 4)],
+        )
+        with pytest.raises(ScheduleViolation, match="deadlock"):
+            VLIWMachine(prog, config, Memory()).run()
+
+    def test_branch_on_specified_condition(self):
+        """The machine also executes plain conditional branches (used by
+        hand-written predicated code)."""
+        prog = program(
+            [
+                ["li r1, 3"],
+                ["clti c0, r1, 5"],
+                ["nop"],
+                ["br c0, TAKEN"],
+                ["halt"],
+                ["out r1", "halt"],  # TAKEN
+            ],
+            {"R0": 0, "TAKEN": 5},
+            [("R0", 0, 5), ("TAKEN", 5, 6)],
+        )
+        result = VLIWMachine(prog, base_machine(), Memory()).run()
+        assert result.output == [3]
+
+    def test_branch_on_unspecified_condition_rejected(self):
+        prog = program(
+            [["br c0, R0"], ["halt"]], {"R0": 0}, [("R0", 0, 2)]
+        )
+        with pytest.raises(ScheduleViolation, match="unspecified"):
+            VLIWMachine(prog, base_machine(), Memory()).run()
+
+    def test_two_true_jumps_in_one_bundle_rejected(self):
+        prog = program(
+            [["jmp A", "jmp A"], ["halt"]],
+            {"R0": 0, "A": 1},
+            [("R0", 0, 1), ("A", 1, 2)],
+        )
+        with pytest.raises(ScheduleViolation, match="two taken"):
+            VLIWMachine(prog, base_machine(), Memory()).run()
+
+    def test_max_cycles_guard(self):
+        prog = program(
+            [["jmp R0"]], {"R0": 0}, [("R0", 0, 1)]
+        )
+        with pytest.raises(RuntimeError, match="exceeded"):
+            VLIWMachine(prog, base_machine(), Memory(), max_cycles=50).run()
+
+    def test_division_by_zero_nonspeculative_unhandled(self):
+        from repro.core.exceptions import UnhandledFault
+
+        prog = program(
+            [["li r1, 1", "li r2, 0"], ["div r3, r1, r2"], ["halt"]],
+            {"R0": 0},
+            [("R0", 0, 3)],
+        )
+        with pytest.raises(UnhandledFault):
+            VLIWMachine(prog, base_machine(), Memory()).run()
+
+    def test_division_by_zero_speculative_squashed(self):
+        prog = program(
+            [
+                ["li r1, 1", "li r2, 0"],
+                ["[c0] div r3, r1, r2"],  # faults speculatively
+                ["cnei c0, r1, 1"],  # c0 = false: squash the exception
+                ["nop"],
+                ["out r1", "halt"],
+            ],
+            {"R0": 0},
+            [("R0", 0, 5)],
+        )
+        result = VLIWMachine(prog, base_machine(), Memory()).run()
+        assert result.output == [1]
+        assert result.recoveries == 0
+
+
+class TestConfigValidation:
+    def test_issue_width_positive(self):
+        with pytest.raises(ValueError):
+            MachineConfig(issue_width=0)
+
+    def test_ccr_entries_positive(self):
+        with pytest.raises(ValueError):
+            MachineConfig(ccr_entries=0)
+
+    def test_speculation_depth_bounded(self):
+        with pytest.raises(ValueError):
+            MachineConfig(ccr_entries=4, max_speculation_depth=5)
+
+    def test_speculation_depth_defaults_to_ccr(self):
+        assert MachineConfig(ccr_entries=4).speculation_depth == 4
+        assert MachineConfig(
+            ccr_entries=4, max_speculation_depth=2
+        ).speculation_depth == 2

@@ -1,0 +1,101 @@
+"""Sequential and re-buffered speculative exceptions.
+
+Section 3.5's recovery machinery must also compose: a program can commit
+several independent speculative exceptions (each triggering its own
+roll-back), and a fault re-raised during recovery whose predicate is
+still unspecified under the future condition must be buffered *again*
+and recovered on a later commit.
+"""
+
+from repro.core.exceptions import FaultKind
+from repro.isa.parser import parse_instruction as P
+from repro.machine import Bundle, VLIWMachine, VLIWProgram
+from repro.machine.config import base_machine
+from repro.machine.program import RegionSpan
+from repro.sim.memory import Memory
+
+
+def paging_handler(backing):
+    def handler(fault, machine):
+        if fault.kind is FaultKind.MEMORY and fault.address in backing:
+            machine.memory.map(fault.address, backing[fault.address])
+            return True
+        return False
+
+    return handler
+
+
+def build_two_region_program():
+    """Two consecutive regions, each with its own committed speculative
+    fault on an unmapped word."""
+    bundles = [
+        # Region A: speculative load of word 600 under c0 (commits true).
+        Bundle((P("li r1, 600"), P("li r2, 1"))),
+        Bundle((P("[c0] ld r3, r1, 0"),)),
+        Bundle((P("ceqi c0, r2, 1"),)),
+        Bundle((P("nop"),)),
+        Bundle((P("[c0] jmp RB"), P("[!c0] jmp RB"))),
+        # Region B: same pattern on word 700.
+        Bundle((P("li r4, 700"),)),
+        Bundle((P("[c0] ld r5, r4, 0"),)),
+        Bundle((P("ceqi c0, r2, 1"),)),
+        Bundle((P("nop"),)),
+        Bundle((P("[c0] jmp OUT"), P("[!c0] jmp OUT"))),
+        Bundle((P("out r3"),)),
+        Bundle((P("out r5"), P("halt"))),
+    ]
+    return VLIWProgram(
+        bundles=bundles,
+        labels={"RA": 0, "RB": 5, "OUT": 10},
+        regions=[
+            RegionSpan("RA", 0, 5),
+            RegionSpan("RB", 5, 10),
+            RegionSpan("OUT", 10, 12),
+        ],
+    )
+
+
+def test_two_independent_recoveries():
+    backing = {600: 41, 700: 43}
+    memory = Memory(mapped_only=True)
+    machine = VLIWMachine(
+        build_two_region_program(),
+        base_machine(),
+        memory,
+        fault_handler=paging_handler(backing),
+    )
+    result = machine.run()
+    assert result.output == [41, 43]
+    assert result.recoveries == 2
+    assert result.handled_faults == 2
+
+
+def test_rebuffered_exception_recovers_on_second_commit():
+    """A fault whose predicate is deeper than the first commit point is
+    re-buffered during the first recovery and handled by a second one."""
+    backing = {600: 9, 700: 11}
+    bundles = [
+        Bundle((P("li r1, 600"), P("li r2, 1"), P("li r4, 700"))),
+        # Two speculative loads with different depths.
+        Bundle((P("[c0] ld r3, r1, 0"), P("[c0&c1] ld r5, r4, 0"))),
+        Bundle((P("ceqi c0, r2, 1"),)),  # commits the c0 fault first
+        Bundle((P("nop"),)),
+        Bundle((P("ceqi c1, r2, 1"),)),  # later commits the c0&c1 fault
+        Bundle((P("nop"),)),
+        Bundle((P("[c0&c1] jmp OUT"), P("[!c0] jmp OUT"), P("[c0&!c1] jmp OUT"))),
+        Bundle((P("out r3"),)),
+        Bundle((P("out r5"), P("halt"))),
+    ]
+    prog = VLIWProgram(
+        bundles=bundles,
+        labels={"RA": 0, "OUT": 7},
+        regions=[RegionSpan("RA", 0, 7), RegionSpan("OUT", 7, 9)],
+    )
+    memory = Memory(mapped_only=True)
+    machine = VLIWMachine(
+        prog, base_machine(), memory, fault_handler=paging_handler(backing)
+    )
+    result = machine.run()
+    assert result.output == [9, 11]
+    assert result.recoveries == 2
+    assert result.handled_faults == 2

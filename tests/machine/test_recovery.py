@@ -1,0 +1,156 @@
+"""Speculative-exception recovery tests (Section 3.5 / Figure 5)."""
+
+import pytest
+
+from repro.core.exceptions import FaultKind, UnhandledFault
+from repro.isa.parser import parse_instruction as P
+from repro.machine import Bundle, VLIWMachine, VLIWProgram
+from repro.machine.config import base_machine
+from repro.machine.program import RegionSpan
+from repro.sim.memory import Memory
+
+
+def paging_handler(fault, machine):
+    """Demand-page handler: map the faulting word with a sentinel value."""
+    if fault.kind is FaultKind.MEMORY and fault.address is not None:
+        try:
+            machine.memory.map(fault.address, 777)
+            return True
+        except Exception:
+            return False
+    return False
+
+
+def build(cmp_op):
+    """A region with a speculative unsafe load under c0.
+
+    ``cmp_op`` decides c0: 'cgt' makes the faulting path commit, 'clt'
+    makes it squash.
+    """
+    bundles = [
+        Bundle((P("li r1, 100"), P("li r2, 3"))),
+        Bundle((P("[c0] ld r3, r1, 0"),)),  # unsafe speculative load
+        Bundle((P(f"{cmp_op} c0, r2, r0"),)),  # commit point for c0
+        Bundle((P("[c0] addi r4, r3.s, 1"), P("[!c0] li r4, 5"))),
+        Bundle((P("nop"),)),
+        Bundle((P("[c0] jmp OUT"),)),
+        Bundle((P("[!c0] jmp OUT"),)),
+        Bundle((P("out r4"),)),
+        Bundle((P("halt"),)),
+    ]
+    return VLIWProgram(
+        bundles=bundles,
+        labels={"R0": 0, "OUT": 7},
+        regions=[RegionSpan("R0", 0, 7), RegionSpan("OUT", 7, 9)],
+    )
+
+
+class TestRecovery:
+    def test_committed_exception_recovers(self):
+        """c0 commits true: recovery re-executes, handler repairs, and the
+        dependent speculative instruction regenerates its value."""
+        machine = VLIWMachine(
+            build("cgt"),
+            base_machine(),
+            Memory(mapped_only=True),
+            fault_handler=paging_handler,
+        )
+        result = machine.run()
+        assert result.output == [778]  # 777 (paged value) + 1
+        assert result.recoveries == 1
+        assert result.handled_faults == 1
+
+    def test_squashed_exception_is_free(self):
+        """c0 commits false: the buffered exception squashes silently."""
+        machine = VLIWMachine(
+            build("clt"),
+            base_machine(),
+            Memory(mapped_only=True),
+            fault_handler=paging_handler,
+        )
+        result = machine.run()
+        assert result.output == [5]
+        assert result.recoveries == 0
+        assert result.handled_faults == 0
+
+    def test_unhandled_committed_exception_raises(self):
+        machine = VLIWMachine(
+            build("cgt"), base_machine(), Memory(mapped_only=True)
+        )
+        with pytest.raises(UnhandledFault):
+            machine.run()
+
+    def test_nonspeculative_fault_traps_immediately(self):
+        bundles = [
+            Bundle((P("li r1, 500"),)),
+            Bundle((P("ld r2, r1, 0"),)),  # alw unsafe load, unmapped
+            Bundle((P("nop"),)),
+            Bundle((P("out r2"),)),
+            Bundle((P("halt"),)),
+        ]
+        prog = VLIWProgram(
+            bundles=bundles, labels={"R0": 0}, regions=[RegionSpan("R0", 0, 5)]
+        )
+        machine = VLIWMachine(
+            prog,
+            base_machine(),
+            Memory(mapped_only=True),
+            fault_handler=paging_handler,
+        )
+        result = machine.run()
+        assert result.output == [777]
+        assert result.recoveries == 0  # no rollback: handled at issue
+        assert result.handled_faults == 1
+
+
+class TestFigure5Scenario:
+    """The paper's Figure 5 walkthrough: two speculative unsafe loads on
+    opposite arms (c0&c1 and c0&!c1); only the committed one is handled."""
+
+    def build(self, c1_true: bool):
+        set_c1 = "cgt c1, r2, r8" if c1_true else "clt c1, r2, r8"
+        bundles = [
+            Bundle((P("li r6, 600"), P("li r4, 400"))),
+            Bundle((P("li r8, 0"), P("li r2, 5"))),
+            Bundle((P("cgei c0, r2, 0"),)),  # i2: c0 = true
+            Bundle((P("[c0&c1] ld r3, r4, 0"),)),  # i4: faults (unmapped)
+            Bundle((P("[c0&!c1] ld r5, r6, 0"),)),  # i5: faults (unmapped)
+            Bundle((P("[c0&c1] add r7, r7, r3.s"),)),  # i6: consumes r3.s
+            Bundle((P(set_c1),)),  # i7: commit point for c1
+            Bundle((P("nop"),)),
+            Bundle((P("[c1] jmp OUT"),)),
+            Bundle((P("[!c1] jmp OUT"),)),
+            Bundle((P("out r7"), P("halt"))),
+        ]
+        return VLIWProgram(
+            bundles=bundles,
+            labels={"R0": 0, "OUT": 10},
+            regions=[RegionSpan("R0", 0, 10), RegionSpan("OUT", 10, 11)],
+        )
+
+    def test_only_committed_exception_handled(self):
+        machine = VLIWMachine(
+            self.build(c1_true=True),
+            base_machine(),
+            Memory(mapped_only=True),
+            fault_handler=paging_handler,
+        )
+        result = machine.run()
+        # i4 handled (777 paged in), i5's exception squashed: exactly one
+        # handler invocation, one recovery.
+        assert result.handled_faults == 1
+        assert result.recoveries == 1
+        assert result.output == [777]  # r7 = 0 + repaired r3
+
+    def test_opposite_arm(self):
+        machine = VLIWMachine(
+            self.build(c1_true=False),
+            base_machine(),
+            Memory(mapped_only=True),
+            fault_handler=paging_handler,
+        )
+        result = machine.run()
+        # Now c1 is false: i4's exception squashes... but i5's commits.
+        assert result.handled_faults == 1
+        assert result.recoveries == 1
+        assert result.output == [0]  # r7 unchanged on the !c1 arm

@@ -1,0 +1,198 @@
+"""Tests for the memory model and the scalar interpreter."""
+
+import pytest
+
+from repro.core.exceptions import UnhandledFault
+from repro.isa import parse_program
+from repro.ir import build_cfg
+from repro.sim import Memory, MemoryFault, run_program
+from repro.sim.interpreter import Interpreter, StepLimitExceeded
+from repro.sim.memory import MIN_VALID_ADDR
+
+
+class TestMemory:
+    def test_null_page_faults(self):
+        mem = Memory()
+        for address in (0, 1, MIN_VALID_ADDR - 1):
+            with pytest.raises(MemoryFault):
+                mem.load(address)
+
+    def test_negative_address_faults(self):
+        with pytest.raises(MemoryFault):
+            Memory().load(-8)
+
+    def test_limit_faults(self):
+        mem = Memory(limit=100)
+        with pytest.raises(MemoryFault):
+            mem.store(100, 1)
+        mem.store(99, 1)
+
+    def test_unwritten_reads_zero(self):
+        assert Memory().load(500) == 0
+
+    def test_mapped_only_demand_paging(self):
+        mem = Memory(mapped_only=True)
+        with pytest.raises(MemoryFault):
+            mem.load(500)
+        mem.map(500, 7)
+        assert mem.load(500) == 7
+
+    def test_mapped_only_store_faults(self):
+        mem = Memory(mapped_only=True)
+        with pytest.raises(MemoryFault):
+            mem.store(500, 1)
+
+    def test_map_respects_bounds(self):
+        with pytest.raises(MemoryFault):
+            Memory().map(0)
+
+    def test_block_helpers(self):
+        mem = Memory()
+        mem.write_block(100, [1, 2, 3])
+        assert mem.read_block(100, 3) == [1, 2, 3]
+
+    def test_clone_is_independent(self):
+        mem = Memory()
+        mem.store(100, 1)
+        copy = mem.clone()
+        copy.store(100, 2)
+        assert mem.load(100) == 1
+
+
+class TestInterpreter:
+    def test_arithmetic_program(self):
+        result = run_program(
+            parse_program("li r1, 6\nli r2, 7\nmul r3, r1, r2\nout r3\nhalt")
+        )
+        assert result.output == [42]
+        assert result.halted
+
+    def test_branch_both_ways(self):
+        source = """
+            li r1, {x}
+            clti c0, r1, 5
+            br c0, small
+            out r0
+            halt
+        small:
+            li r2, 1
+            out r2
+            halt
+        """
+        assert run_program(parse_program(source.format(x=3))).output == [1]
+        assert run_program(parse_program(source.format(x=9))).output == [0]
+
+    def test_memory_ops(self):
+        mem = Memory()
+        result = run_program(
+            parse_program("li r1, 100\nli r2, 5\nst r2, r1, 3\nld r3, r1, 3\nout r3\nhalt"),
+            mem,
+        )
+        assert result.output == [5]
+        assert mem.load(103) == 5
+
+    def test_predicated_code_rejected(self):
+        program = parse_program("[c0] add r1, r2, r3\nhalt")
+        with pytest.raises(ValueError):
+            Interpreter(program)
+
+    def test_unhandled_fault_raises(self):
+        program = parse_program("li r1, 0\nld r2, r1, 0\nhalt")
+        with pytest.raises(UnhandledFault):
+            run_program(parse_program("li r1, 0\nld r2, r1, 0\nhalt"))
+        del program
+
+    def test_fault_handler_repairs_and_retries(self):
+        calls = []
+
+        def handler(fault, interp):
+            calls.append(fault.address)
+            interp.memory.map(fault.address, 123)
+            return True
+
+        program = parse_program("li r1, 500\nld r2, r1, 0\nout r2\nhalt")
+        result = run_program(
+            program, Memory(mapped_only=True), fault_handler=handler
+        )
+        assert result.output == [123]
+        assert result.handled_faults == 1
+        assert calls == [500]
+
+    def test_step_limit(self):
+        program = parse_program("loop:\n jmp loop")
+        with pytest.raises(StepLimitExceeded):
+            run_program(program, max_steps=100)
+
+    def test_r0_reads_zero(self):
+        result = run_program(parse_program("li r0, 7\nout r0\nhalt"))
+        assert result.output == [0]
+
+
+class TestScalarTiming:
+    def test_one_cycle_per_instruction(self):
+        result = run_program(parse_program("nop\nnop\nnop\nhalt"))
+        assert result.scalar_cycles == 4
+
+    def test_load_use_stall(self):
+        no_stall = run_program(
+            parse_program("li r1, 100\nld r2, r1, 0\nnop\nadd r3, r2, r2\nhalt")
+        ).scalar_cycles
+        stall = run_program(
+            parse_program("li r1, 100\nld r2, r1, 0\nadd r3, r2, r2\nnop\nhalt")
+        ).scalar_cycles
+        assert stall == no_stall + 1
+
+    def test_taken_branch_penalty(self):
+        taken = run_program(
+            parse_program("li r1, 1\nceqi c0, r1, 1\nbr c0, skip\nnop\nskip:\nhalt")
+        ).scalar_cycles
+        not_taken = run_program(
+            parse_program("li r1, 1\nceqi c0, r1, 2\nbr c0, skip\nnop\nskip:\nhalt")
+        ).scalar_cycles
+        # Taken: li + ceqi + br + penalty + halt = 5; not taken adds nop instead.
+        assert taken == 5
+        assert not_taken == 5
+
+    def test_jmp_penalty(self):
+        cycles = run_program(parse_program("jmp end\nend:\nhalt")).scalar_cycles
+        assert cycles == 3  # jmp + penalty + halt
+
+
+class TestTraceRecording:
+    def test_block_sequence_and_branches(self):
+        source = """
+            li r1, 0
+        loop:
+            addi r1, r1, 1
+            clti c0, r1, 3
+            br c0, loop
+            out r1
+            halt
+        """
+        program = parse_program(source)
+        cfg = build_cfg(program)
+        result = run_program(program, cfg=cfg)
+        trace = result.trace
+        assert trace is not None
+        counts = trace.block_counts()
+        loop_bid = [b.bid for b in cfg.blocks.values() if b.is_branch_block][0]
+        assert counts[loop_bid] == 3
+        assert [e.taken for e in trace.branches] == [True, True, False]
+        profile = trace.branch_profile()
+        (taken, not_taken), = profile.values()
+        assert (taken, not_taken) == (2, 1)
+
+    def test_edge_counts(self):
+        source = """
+            li r1, 0
+        loop:
+            addi r1, r1, 1
+            clti c0, r1, 4
+            br c0, loop
+            halt
+        """
+        program = parse_program(source)
+        cfg = build_cfg(program)
+        trace = run_program(program, cfg=cfg).trace
+        loop_bid = [b.bid for b in cfg.blocks.values() if b.is_branch_block][0]
+        assert trace.edge_counts()[(loop_bid, loop_bid)] == 3

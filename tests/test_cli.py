@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("compress", "eqntott", "espresso", "grep", "li", "nroff"):
+            assert name in out
+
+    def test_run_workload(self, capsys):
+        assert main(["run", "grep"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "output" in out
+
+    def test_run_assembly_file(self, tmp_path, capsys):
+        source = tmp_path / "tiny.s"
+        source.write_text("li r1, 41\naddi r1, r1, 1\nout r1\nhalt\n")
+        assert main(["run", str(source)]) == 0
+        assert "[42]" in capsys.readouterr().out
+
+    def test_compile_dump(self, capsys):
+        assert main(["compile", "li", "--model", "region_pred", "--dump"]) == 0
+        out = capsys.readouterr().out
+        assert "units" in out and "B" in out
+
+    def test_compile_restricted_model(self, capsys):
+        assert main(["compile", "li", "--model", "global"]) == 0
+        assert "units" in capsys.readouterr().out
+
+    def test_exec_region_pred(self, capsys):
+        assert main(["exec", "li", "--model", "region_pred"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "recoveries" in out
+
+    def test_experiment_hwcost(self, capsys):
+        assert main(["experiment", "hwcost"]) == 0
+        assert "3 gates" in capsys.readouterr().out
+
+    def test_experiment_table3(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        assert "grep" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "li", "--model", "warp"])
