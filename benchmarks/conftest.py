@@ -1,8 +1,11 @@
 """Shared fixtures for the benchmark harness.
 
-A session-scoped :class:`~repro.eval.experiments.ExperimentContext` caches
-the scalar training/evaluation runs so each table/figure driver only pays
-for its own compilation and cycle counting.
+A session-scoped :class:`~repro.eval.runner.ExperimentContext` caches the
+scalar training/evaluation runs in-process and backs cell evaluation
+with a session-lifetime on-disk cache, so cells shared between
+experiments (e.g. the ``global`` model appears in both Figure 6 and
+Figure 7, and ``region_pred`` underpins every ablation) are computed
+exactly once across the whole benchmark run.
 """
 
 import pytest
@@ -11,8 +14,9 @@ from repro.eval import ExperimentContext
 
 
 @pytest.fixture(scope="session")
-def ctx() -> ExperimentContext:
-    return ExperimentContext()
+def ctx(tmp_path_factory) -> ExperimentContext:
+    cache_dir = tmp_path_factory.mktemp("cell-cache")
+    return ExperimentContext(cache_dir=cache_dir)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

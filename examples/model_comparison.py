@@ -16,6 +16,7 @@ import time
 
 from repro.eval import (
     ExperimentContext,
+    ExperimentOptions,
     run_btb_ablation,
     run_join_sharing,
     run_profile_sensitivity,
@@ -35,19 +36,19 @@ from repro.eval import (
 def main() -> None:
     quick = "--quick" in sys.argv
     ctx = ExperimentContext()
+    options = ExperimentOptions(
+        run_machine=not quick,
+        widths=(2, 4) if quick else (2, 4, 8),
+        depths=(1, 4) if quick else (1, 2, 4, 8),
+    )
     started = time.time()
 
     for title, runner in [
         ("Table 2", lambda: run_table2(ctx)),
         ("Table 3", lambda: run_table3(ctx)),
         ("Figure 6", lambda: run_fig6(ctx)),
-        ("Figure 7", lambda: run_fig7(ctx, run_machine=not quick)),
-        (
-            "Figure 8",
-            lambda: run_fig8(ctx)
-            if not quick
-            else run_fig8(ctx, widths=(2, 4), depths=(1, 4)),
-        ),
+        ("Figure 7", lambda: run_fig7(ctx, options)),
+        ("Figure 8", lambda: run_fig8(ctx, options)),
         ("Hardware cost", run_hwcost),
         ("Shadow-register ablation", lambda: run_shadow_ablation(ctx)),
         ("Counter-predicate ablation", lambda: run_counter_ablation(ctx)),

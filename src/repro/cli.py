@@ -9,7 +9,9 @@ Commands:
   and static statistics.
 * ``exec``       -- compile with a predicating model and execute the
   result on the cycle-level VLIW machine.
-* ``experiment`` -- regenerate a paper table/figure (or ``all``).
+* ``experiment`` -- regenerate a paper table/figure (or ``all``), with
+  parallel fan-out (``--jobs``), a durable result cache
+  (``--cache-dir`` / ``--no-cache``), and JSON artifacts (``--json``).
 """
 
 from __future__ import annotations
@@ -20,22 +22,8 @@ from pathlib import Path
 
 from repro.analysis.branch_prediction import StaticPredictor
 from repro.compiler import MODELS, compile_program, evaluate_model
-from repro.eval import (
-    ExperimentContext,
-    run_unrolling,
-    run_btb_ablation,
-    run_code_expansion,
-    run_counter_ablation,
-    run_fig6,
-    run_fig7,
-    run_fig8,
-    run_hwcost,
-    run_join_sharing,
-    run_profile_sensitivity,
-    run_shadow_ablation,
-    run_table2,
-    run_table3,
-)
+from repro.eval import EXPERIMENTS, ExperimentContext, ExperimentOptions
+from repro.eval.artifact import write_artifact
 from repro.ir import build_cfg
 from repro.isa import parse_program
 from repro.machine.config import base_machine
@@ -43,21 +31,7 @@ from repro.machine.scalar import run_scalar
 from repro.sim.memory import Memory
 from repro.workloads import all_workloads, get_workload
 
-EXPERIMENTS = {
-    "table2": lambda ctx: run_table2(ctx),
-    "table3": lambda ctx: run_table3(ctx),
-    "fig6": lambda ctx: run_fig6(ctx),
-    "fig7": lambda ctx: run_fig7(ctx),
-    "fig8": lambda ctx: run_fig8(ctx),
-    "hwcost": lambda ctx: run_hwcost(),
-    "shadow": lambda ctx: run_shadow_ablation(ctx),
-    "counter": lambda ctx: run_counter_ablation(ctx),
-    "btb": lambda ctx: run_btb_ablation(ctx),
-    "codesize": lambda ctx: run_code_expansion(ctx),
-    "unroll": lambda ctx: run_unrolling(ctx),
-    "joins": lambda ctx: run_join_sharing(ctx),
-    "profile": lambda ctx: run_profile_sensitivity(ctx),
-}
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def _load_program_and_memory(target: str, seed: int):
@@ -141,12 +115,37 @@ def cmd_exec(args) -> int:
 
 
 def cmd_experiment(args) -> int:
-    ctx = ExperimentContext()
     names = list(EXPERIMENTS) if args.name == "all" else [args.name]
+    json_target = Path(args.json) if args.json else None
+    if (
+        json_target is not None
+        and json_target.suffix == ".json"
+        and len(names) > 1
+    ):
+        print(
+            "--json must name a directory (not a .json file) when writing "
+            "more than one experiment",
+            file=sys.stderr,
+        )
+        return 2
+
+    cache_dir = None if args.no_cache else Path(args.cache_dir)
+    if cache_dir is not None and cache_dir.exists() and not cache_dir.is_dir():
+        print(f"--cache-dir {cache_dir} exists and is not a directory",
+              file=sys.stderr)
+        return 2
+    ctx = ExperimentContext(
+        jobs=args.jobs, cache_dir=cache_dir, use_cache=not args.no_cache
+    )
+    options = ExperimentOptions()
     for name in names:
-        result = EXPERIMENTS[name](ctx)
+        result = EXPERIMENTS[name](ctx, options)
         print(result.render())
         print()
+        if json_target is not None:
+            path = write_artifact(json_target, name, result)
+            print(f"[artifact] {path}", file=sys.stderr)
+    print(ctx.runner.stats.report(), file=sys.stderr)
     return 0
 
 
@@ -192,6 +191,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment_parser.add_argument(
         "name", choices=sorted(EXPERIMENTS) + ["all"]
+    )
+    experiment_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for cell evaluation (default: 1, serial)",
+    )
+    experiment_parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="PATH",
+        help=(
+            "directory for the content-keyed result cache "
+            f"(default: {DEFAULT_CACHE_DIR})"
+        ),
+    )
+    experiment_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell; neither read nor write the cache",
+    )
+    experiment_parser.add_argument(
+        "--json",
+        metavar="OUT",
+        help=(
+            "write JSON artifacts: a directory gets <experiment>.json per "
+            "experiment; a *.json path is used verbatim (single experiment)"
+        ),
     )
     return parser
 

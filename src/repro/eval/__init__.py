@@ -1,15 +1,23 @@
 """Evaluation harness: one driver per paper table/figure.
 
 * :mod:`repro.eval.experiments` -- Table 2, Table 3, Figures 6/7/8, the
-  hardware-cost analysis, and the two ablations (single-vs-infinite
-  shadow registers; vector-vs-counter predicates).
+  hardware-cost analysis, and the ablation/extension experiments; the
+  :data:`EXPERIMENTS` registry maps CLI names to drivers, each callable
+  as ``fn(ctx, options)``.
+* :mod:`repro.eval.runner` -- the parallel, content-cached cell runner
+  behind every driver (:class:`ExperimentContext`, ``CellSpec``,
+  ``CellRunner``).
+* :mod:`repro.eval.artifact` -- versioned JSON artifacts for experiment
+  results (the ``repro-experiment/v1`` schema).
 * :mod:`repro.eval.hwcost` -- the Section 4.2.1 transistor and gate-delay
   model.
 * :mod:`repro.eval.report` -- ASCII rendering of tables and bar charts.
 """
 
 from repro.eval.experiments import (
+    EXPERIMENTS,
     ExperimentContext,
+    ExperimentOptions,
     run_btb_ablation,
     run_code_expansion,
     run_fig6,
@@ -24,9 +32,15 @@ from repro.eval.experiments import (
     run_table3,
     run_unrolling,
 )
+from repro.eval.runner import CellRunner, CellSpec, cell_cache_key
 
 __all__ = [
+    "EXPERIMENTS",
+    "CellRunner",
+    "CellSpec",
     "ExperimentContext",
+    "ExperimentOptions",
+    "cell_cache_key",
     "run_btb_ablation",
     "run_code_expansion",
     "run_counter_ablation",

@@ -1,0 +1,109 @@
+"""Versioned JSON artifacts for experiment results.
+
+Every experiment result dataclass exposes ``to_dict()``; this module
+wraps that payload in a stable envelope::
+
+    {
+      "schema": "repro-experiment/v1",
+      "experiment": "<name>",        # key in eval.experiments.EXPERIMENTS
+      "data": { ... }                # to_dict() output, JSON-native only
+    }
+
+Serialization is canonical (sorted keys, two-space indent, trailing
+newline) so a parallel ``--jobs 4`` run emits byte-identical files to a
+serial one, and artifacts diff cleanly in version control.  The schema
+is documented for readers in EXPERIMENTS.md ("JSON artifact schema").
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+#: Envelope identifier; bump the suffix on breaking payload changes.
+SCHEMA = "repro-experiment/v1"
+
+
+class ArtifactError(ValueError):
+    """An artifact document violates the schema."""
+
+
+def _check_payload(value, path: str) -> None:
+    """Payloads must be JSON-native with string keys and finite floats."""
+    if value is None or isinstance(value, (str, bool, int)):
+        return
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ArtifactError(f"{path}: non-finite float {value!r}")
+        return
+    if isinstance(value, list):
+        for index, item in enumerate(value):
+            _check_payload(item, f"{path}[{index}]")
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ArtifactError(f"{path}: non-string key {key!r}")
+            _check_payload(item, f"{path}.{key}")
+        return
+    raise ArtifactError(f"{path}: non-JSON value of type {type(value).__name__}")
+
+
+def validate_artifact(document: object) -> None:
+    """Raise :class:`ArtifactError` unless *document* is a valid artifact."""
+    if not isinstance(document, dict):
+        raise ArtifactError("artifact must be a JSON object")
+    if document.get("schema") != SCHEMA:
+        raise ArtifactError(
+            f"schema mismatch: {document.get('schema')!r} != {SCHEMA!r}"
+        )
+    name = document.get("experiment")
+    if not isinstance(name, str) or not name:
+        raise ArtifactError("experiment must be a non-empty string")
+    data = document.get("data")
+    if not isinstance(data, dict) or not data:
+        raise ArtifactError("data must be a non-empty object")
+    _check_payload(data, "data")
+
+
+def make_artifact(name: str, result) -> dict:
+    """Build (and validate) the artifact document for one result."""
+    document = {"schema": SCHEMA, "experiment": name, "data": result.to_dict()}
+    validate_artifact(document)
+    return document
+
+
+def dumps_artifact(document: dict) -> str:
+    """Canonical serialization: deterministic bytes for identical data."""
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+def artifact_path(target: str | Path, name: str) -> Path:
+    """Resolve where *name*'s artifact lands under *target*.
+
+    A ``*.json`` target is used verbatim (single-experiment runs); any
+    other target is treated as a directory holding ``<name>.json``.
+    """
+    target = Path(target)
+    if target.suffix == ".json":
+        return target
+    return target / f"{name}.json"
+
+
+def write_artifact(target: str | Path, name: str, result) -> Path:
+    """Write *result*'s artifact under *target*; returns the file path."""
+    path = artifact_path(target, name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps_artifact(make_artifact(name, result)))
+    return path
+
+
+def load_artifact(path: str | Path) -> dict:
+    """Read and validate an artifact document."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise ArtifactError(f"{path}: not JSON ({error})") from error
+    validate_artifact(document)
+    return document

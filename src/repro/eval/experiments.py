@@ -1,9 +1,16 @@
 """Experiment drivers -- one per paper table/figure.
 
 Each ``run_*`` function reproduces one artefact of the paper's evaluation
-section and returns a structured result with a ``render()`` method.  An
-:class:`ExperimentContext` caches per-workload scalar runs (training
-profile + evaluation trace) so sweeps do not re-interpret programs.
+section.  Drivers share a uniform ``(ctx, options)`` signature: *ctx* is
+an :class:`~repro.eval.runner.ExperimentContext` (workloads, scalar
+baselines, and the parallel/cached :class:`~repro.eval.runner.CellRunner`),
+*options* an :class:`ExperimentOptions` bundle of the knobs the CLI
+exposes.  Every driver decomposes its sweep into independent
+:class:`~repro.eval.runner.CellSpec` cells, fans them out through
+``ctx.run_cells`` (process pool + on-disk cache), and merges the results
+deterministically.  Results render as ASCII (``render()``) and serialize
+to versioned JSON artifacts (``to_dict()`` +
+:mod:`repro.eval.artifact`).
 
 Paper artefacts:
 
@@ -27,17 +34,23 @@ import dataclasses
 import math
 from dataclasses import dataclass, field
 
-from repro.analysis.branch_prediction import StaticPredictor, successive_accuracy
 from repro.compiler.models import MODELS, REGION_PRED, TRACE_PRED
-from repro.compiler.pipeline import compile_program
-from repro.compiler.policy import ModelPolicy
 from repro.eval import hwcost as hwcost_model
 from repro.eval.report import render_bars, render_table
-from repro.ir.cfg import CFG, build_cfg
+from repro.eval.runner import (
+    CellSpec,
+    ExperimentContext,
+    WorkloadBaseline,
+)
 from repro.machine.config import MachineConfig, base_machine, full_issue_machine
-from repro.machine.scalar import ScalarRun, run_scalar
-from repro.machine.vliw import VLIWMachine
-from repro.workloads import Workload, all_workloads
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentOptions",
+    "WorkloadBaseline",
+    "EXPERIMENTS",
+    "geomean",
+]
 
 
 def geomean(values: list[float]) -> float:
@@ -46,64 +59,30 @@ def geomean(values: list[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
-@dataclass
-class WorkloadBaseline:
-    """Cached scalar behaviour of one workload."""
+@dataclass(frozen=True)
+class ExperimentOptions:
+    """CLI-facing knobs, shared by every driver.
 
-    workload: Workload
-    cfg: CFG
-    predictor: StaticPredictor
-    evaluation: ScalarRun
+    Drivers read only the fields they understand; the defaults reproduce
+    the paper's setup exactly, so ``run_x(ctx)`` with no options is
+    always the paper configuration.
+    """
+
+    config: MachineConfig | None = None  # None = the paper's base machine
+    run_machine: bool = True  # Figure 7: validate on the VLIW machine
+    max_run: int = 8  # Table 3 branch-run depth
+    widths: tuple[int, ...] = (2, 4, 8)  # Figure 8 issue widths
+    depths: tuple[int, ...] = (1, 2, 4, 8)  # Figure 8 speculation depths
+    factors: tuple[int, ...] = (1, 2, 4)  # unrolling factors
+    machines: tuple[tuple[int, int], ...] = ((4, 4), (8, 8))  # unroll targets
+    models: tuple[str, ...] | None = None  # code-expansion model list
+    hw_params: hwcost_model.RegFileParams | None = None
+
+    def machine(self) -> MachineConfig:
+        return self.config or base_machine()
 
 
-class ExperimentContext:
-    """Shared workload set + scalar-run cache for all experiments."""
-
-    def __init__(self, workloads: list[Workload] | None = None):
-        self.workloads = workloads if workloads is not None else all_workloads()
-        self._baselines: dict[str, WorkloadBaseline] = {}
-
-    def baseline(self, workload: Workload) -> WorkloadBaseline:
-        if workload.name not in self._baselines:
-            cfg = build_cfg(workload.program)
-            train = run_scalar(workload.program, cfg, workload.train_memory())
-            predictor = StaticPredictor.from_trace(train.trace)
-            evaluation = run_scalar(
-                workload.program, cfg, workload.eval_memory()
-            )
-            self._baselines[workload.name] = WorkloadBaseline(
-                workload=workload,
-                cfg=cfg,
-                predictor=predictor,
-                evaluation=evaluation,
-            )
-        return self._baselines[workload.name]
-
-    def speedup(
-        self,
-        workload: Workload,
-        model: str | ModelPolicy,
-        config: MachineConfig,
-        *,
-        run_machine: bool = False,
-    ) -> float:
-        """Speedup of *model* over the scalar baseline on *workload*."""
-        baseline = self.baseline(workload)
-        compiled = compile_program(
-            workload.program, model, config, baseline.predictor
-        )
-        analytic = compiled.code.count_cycles(baseline.evaluation.trace, config)
-        cycles = analytic.cycles
-        if run_machine and compiled.vliw is not None:
-            machine = VLIWMachine(compiled.vliw, config, workload.eval_memory())
-            result = machine.run()
-            if result.architectural_output != tuple(baseline.evaluation.output):
-                raise AssertionError(
-                    f"{workload.name}/{compiled.policy.name}: scheduled code "
-                    "diverged from scalar semantics"
-                )
-            cycles = result.cycles
-        return baseline.evaluation.cycles / cycles
+_DEFAULTS = ExperimentOptions()
 
 
 # ----------------------------------------------------------------------
@@ -113,6 +92,19 @@ class ExperimentContext:
 class Table2Result:
     rows: list[tuple[str, int, int, str]]  # name, lines, cycles, remarks
 
+    def to_dict(self) -> dict:
+        return {
+            "rows": [
+                {
+                    "program": name,
+                    "lines": lines,
+                    "scalar_cycles": cycles,
+                    "remarks": remarks,
+                }
+                for name, lines, cycles, remarks in self.rows
+            ]
+        }
+
     def render(self) -> str:
         return render_table(
             ["Program", "Lines", "Scalar cycles", "Remarks"],
@@ -121,18 +113,18 @@ class Table2Result:
         )
 
 
-def run_table2(ctx: ExperimentContext) -> Table2Result:
-    rows = []
-    for workload in ctx.workloads:
-        baseline = ctx.baseline(workload)
-        rows.append(
-            (
-                workload.name,
-                workload.program.static_line_count(),
-                baseline.evaluation.cycles,
-                workload.description,
-            )
-        )
+def run_table2(
+    ctx: ExperimentContext, options: ExperimentOptions | None = None
+) -> Table2Result:
+    del options  # Table 2 has no knobs; uniform signature only.
+    specs = [
+        CellSpec(kind="baseline", workload=w.name) for w in ctx.workloads
+    ]
+    cells = ctx.run_cells(specs)
+    rows = [
+        (w.name, cell["lines"], cell["cycles"], w.description)
+        for w, cell in zip(ctx.workloads, cells)
+    ]
     return Table2Result(rows=rows)
 
 
@@ -143,6 +135,9 @@ def run_table2(ctx: ExperimentContext) -> Table2Result:
 class Table3Result:
     max_run: int
     rows: dict[str, list[float]]
+
+    def to_dict(self) -> dict:
+        return {"max_run": self.max_run, "rows": dict(self.rows)}
 
     def render(self) -> str:
         headers = ["#branches"] + [str(n) for n in range(1, self.max_run + 1)]
@@ -157,14 +152,23 @@ class Table3Result:
         )
 
 
-def run_table3(ctx: ExperimentContext, max_run: int = 8) -> Table3Result:
-    rows = {}
-    for workload in ctx.workloads:
-        baseline = ctx.baseline(workload)
-        rows[workload.name] = successive_accuracy(
-            baseline.predictor, baseline.evaluation.trace, max_run
+def run_table3(
+    ctx: ExperimentContext, options: ExperimentOptions | None = None
+) -> Table3Result:
+    options = options or _DEFAULTS
+    specs = [
+        CellSpec(
+            kind="accuracy",
+            workload=w.name,
+            extras=(("max_run", options.max_run),),
         )
-    return Table3Result(max_run=max_run, rows=rows)
+        for w in ctx.workloads
+    ]
+    cells = ctx.run_cells(specs)
+    rows = {
+        w.name: cell["accuracy"] for w, cell in zip(ctx.workloads, cells)
+    }
+    return Table3Result(max_run=options.max_run, rows=rows)
 
 
 # ----------------------------------------------------------------------
@@ -182,6 +186,17 @@ class SpeedupFigure:
                 [self.per_workload[w][model] for w in self.per_workload]
             )
             for model in self.models
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "title": self.title,
+            "models": list(self.models),
+            "per_workload": {
+                name: dict(values)
+                for name, values in self.per_workload.items()
+            },
+            "geomeans": self.geomeans(),
         }
 
     def render(self) -> str:
@@ -213,43 +228,51 @@ def _speedup_figure(
     *,
     run_machine: bool = False,
 ) -> SpeedupFigure:
+    specs = [
+        CellSpec(
+            kind="speedup",
+            workload=workload.name,
+            model=model,
+            config=config,
+            run_machine=run_machine and MODELS[model].executable,
+        )
+        for workload in ctx.workloads
+        for model in models
+    ]
+    cells = ctx.run_cells(specs)
     figure = SpeedupFigure(title=title, models=models)
+    index = 0
     for workload in ctx.workloads:
         figure.per_workload[workload.name] = {
-            model: ctx.speedup(
-                workload,
-                model,
-                config,
-                run_machine=run_machine and MODELS[model].executable,
-            )
-            for model in models
+            model: cells[index + offset]["speedup"]
+            for offset, model in enumerate(models)
         }
+        index += len(models)
     return figure
 
 
 def run_fig6(
-    ctx: ExperimentContext, config: MachineConfig | None = None
+    ctx: ExperimentContext, options: ExperimentOptions | None = None
 ) -> SpeedupFigure:
+    options = options or _DEFAULTS
     return _speedup_figure(
         ctx,
         "Figure 6: restricted speculative execution models",
         FIG6_MODELS,
-        config or base_machine(),
+        options.machine(),
     )
 
 
 def run_fig7(
-    ctx: ExperimentContext,
-    config: MachineConfig | None = None,
-    *,
-    run_machine: bool = True,
+    ctx: ExperimentContext, options: ExperimentOptions | None = None
 ) -> SpeedupFigure:
+    options = options or _DEFAULTS
     return _speedup_figure(
         ctx,
         "Figure 7: predicating vs conventional speculative execution",
         FIG7_MODELS,
-        config or base_machine(),
-        run_machine=run_machine,
+        options.machine(),
+        run_machine=options.run_machine,
     )
 
 
@@ -265,6 +288,22 @@ class Fig8Result:
     per_workload: dict[tuple[int, int], dict[str, float]] = field(
         default_factory=dict
     )
+
+    def to_dict(self) -> dict:
+        return {
+            "widths": list(self.widths),
+            "depths": list(self.depths),
+            "cells": [
+                {
+                    "width": width,
+                    "depth": depth,
+                    "geomean": self.geomeans[(width, depth)],
+                    "per_workload": dict(self.per_workload[(width, depth)]),
+                }
+                for width in self.widths
+                for depth in self.depths
+            ],
+        }
 
     def render(self) -> str:
         headers = ["issue width"] + [f"depth {d}" for d in self.depths]
@@ -284,22 +323,32 @@ class Fig8Result:
 
 
 def run_fig8(
-    ctx: ExperimentContext,
-    widths: tuple[int, ...] = (2, 4, 8),
-    depths: tuple[int, ...] = (1, 2, 4, 8),
+    ctx: ExperimentContext, options: ExperimentOptions | None = None
 ) -> Fig8Result:
+    options = options or _DEFAULTS
+    widths, depths = options.widths, options.depths
+    grid = [(width, depth) for width in widths for depth in depths]
+    specs = [
+        CellSpec(
+            kind="speedup",
+            workload=workload.name,
+            model="region_pred",
+            config=full_issue_machine(width, depth),
+        )
+        for width, depth in grid
+        for workload in ctx.workloads
+    ]
+    cells = ctx.run_cells(specs)
     result = Fig8Result(widths=widths, depths=depths)
-    for width in widths:
-        for depth in depths:
-            config = full_issue_machine(width, depth)
-            per_workload = {
-                workload.name: ctx.speedup(workload, "region_pred", config)
-                for workload in ctx.workloads
-            }
-            result.per_workload[(width, depth)] = per_workload
-            result.geomeans[(width, depth)] = geomean(
-                list(per_workload.values())
-            )
+    index = 0
+    for width, depth in grid:
+        per_workload = {
+            workload.name: cells[index + offset]["speedup"]
+            for offset, workload in enumerate(ctx.workloads)
+        }
+        index += len(ctx.workloads)
+        result.per_workload[(width, depth)] = per_workload
+        result.geomeans[(width, depth)] = geomean(list(per_workload.values()))
     return result
 
 
@@ -320,6 +369,13 @@ class CodeExpansionResult:
             for model in self.models
         }
 
+    def to_dict(self) -> dict:
+        return {
+            "models": list(self.models),
+            "rows": {name: dict(values) for name, values in self.rows.items()},
+            "geomeans": self.geomeans(),
+        }
+
     def render(self) -> str:
         headers = ["Program"] + self.models
         table_rows = [
@@ -338,9 +394,7 @@ class CodeExpansionResult:
 
 
 def run_code_expansion(
-    ctx: ExperimentContext,
-    models: list[str] | None = None,
-    config: MachineConfig | None = None,
+    ctx: ExperimentContext, options: ExperimentOptions | None = None
 ) -> CodeExpansionResult:
     """Static code-size cost of each model's duplication.
 
@@ -350,23 +404,30 @@ def run_code_expansion(
     experiment measures the duplication cost of our windowed schedulers
     directly: total scheduled operations over source instructions.
     """
-    config = config or base_machine()
-    models = models or ["global", "trace", "trace_pred", "region_pred"]
+    options = options or _DEFAULTS
+    config = options.machine()
+    models = list(
+        options.models or ("global", "trace", "trace_pred", "region_pred")
+    )
+    specs = [
+        CellSpec(
+            kind="compile_stats",
+            workload=workload.name,
+            model=model,
+            config=config,
+        )
+        for workload in ctx.workloads
+        for model in models
+    ]
+    cells = ctx.run_cells(specs)
     result = CodeExpansionResult(models=models)
+    index = 0
     for workload in ctx.workloads:
-        baseline = ctx.baseline(workload)
-        source_ops = len(workload.program.instructions)
-        row = {}
-        for model in models:
-            compiled = compile_program(
-                workload.program, model, config, baseline.predictor
-            )
-            scheduled_ops = sum(
-                len(unit.region.items)
-                for unit in compiled.code.units.values()
-            )
-            row[model] = scheduled_ops / source_ops
-        result.rows[workload.name] = row
+        result.rows[workload.name] = {
+            model: cells[index + offset]["expansion"]
+            for offset, model in enumerate(models)
+        }
+        index += len(models)
     return result
 
 
@@ -380,6 +441,22 @@ class UnrollingResult:
     factors: tuple[int, ...]
     machines: tuple[tuple[int, int], ...]  # (width, depth)
     geomeans: dict[tuple[int, int, int], float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "factors": list(self.factors),
+            "machines": [list(machine) for machine in self.machines],
+            "cells": [
+                {
+                    "width": width,
+                    "depth": depth,
+                    "factor": factor,
+                    "geomean": self.geomeans[(width, depth, factor)],
+                }
+                for width, depth in self.machines
+                for factor in self.factors
+            ],
+        }
 
     def render(self) -> str:
         headers = ["machine"] + [f"unroll x{f}" for f in self.factors]
@@ -403,9 +480,7 @@ class UnrollingResult:
 
 
 def run_unrolling(
-    ctx: ExperimentContext,
-    factors: tuple[int, ...] = (1, 2, 4),
-    machines: tuple[tuple[int, int], ...] = ((4, 4), (8, 8)),
+    ctx: ExperimentContext, options: ExperimentOptions | None = None
 ) -> UnrollingResult:
     """Section 4.2.2's closing conjecture, tested.
 
@@ -418,39 +493,34 @@ def run_unrolling(
     unroll factor so the region former can actually span the unrolled
     iterations.
     """
-    from repro.compiler.unroll import unroll_loops
-    from repro.ir.cfg import build_cfg as _build_cfg
-
+    options = options or _DEFAULTS
+    factors, machines = options.factors, options.machines
+    grid = [
+        (width, depth, factor)
+        for width, depth in machines
+        for factor in factors
+    ]
+    specs = [
+        CellSpec(
+            kind="unroll",
+            workload=workload.name,
+            model="region_pred",
+            config=full_issue_machine(width, depth),
+            extras=(("factor", factor),),
+        )
+        for width, depth, factor in grid
+        for workload in ctx.workloads
+    ]
+    cells = ctx.run_cells(specs)
     result = UnrollingResult(factors=factors, machines=machines)
-    for width, depth in machines:
-        config = full_issue_machine(width, depth)
-        for factor in factors:
-            speedups = []
-            for workload in ctx.workloads:
-                baseline = ctx.baseline(workload)
-                if factor == 1:
-                    program = workload.program
-                else:
-                    program = unroll_loops(
-                        _build_cfg(workload.program), factor
-                    ).to_program()
-                cfg = _build_cfg(program)
-                train = run_scalar(program, cfg, workload.train_memory())
-                predictor = StaticPredictor.from_trace(train.trace)
-                policy = dataclasses.replace(
-                    REGION_PRED, window_blocks=16 * factor
-                )
-                compiled = compile_program(program, policy, config, predictor)
-                evaluation = run_scalar(program, cfg, workload.eval_memory())
-                if evaluation.output != baseline.evaluation.output:
-                    raise AssertionError(
-                        f"{workload.name}: unrolling changed semantics"
-                    )
-                cycles = compiled.code.count_cycles(
-                    evaluation.trace, config
-                ).cycles
-                speedups.append(baseline.evaluation.cycles / cycles)
-            result.geomeans[(width, depth, factor)] = geomean(speedups)
+    index = 0
+    for width, depth, factor in grid:
+        speedups = [
+            cells[index + offset]["speedup"]
+            for offset in range(len(ctx.workloads))
+        ]
+        index += len(ctx.workloads)
+        result.geomeans[(width, depth, factor)] = geomean(speedups)
     return result
 
 
@@ -464,6 +534,20 @@ class JoinSharingResult:
     rows: list[tuple[str, float, float, float, float]] = field(
         default_factory=list
     )  # name, dup speedup, shared speedup, dup expansion, shared expansion
+
+    def to_dict(self) -> dict:
+        return {
+            "rows": [
+                {
+                    "program": name,
+                    "dup_speedup": dup_speed,
+                    "shared_speedup": shared_speed,
+                    "dup_expansion": dup_x,
+                    "shared_expansion": shared_x,
+                }
+                for name, dup_speed, shared_speed, dup_x, shared_x in self.rows
+            ]
+        }
 
     def render(self) -> str:
         table_rows = [
@@ -482,7 +566,7 @@ class JoinSharingResult:
 
 
 def run_join_sharing(
-    ctx: ExperimentContext, config: MachineConfig | None = None
+    ctx: ExperimentContext, options: ExperimentOptions | None = None
 ) -> JoinSharingResult:
     """The paper's join-block trade-off, measured.
 
@@ -496,32 +580,33 @@ def run_join_sharing(
     every kernel: speedup and static code expansion under pure
     duplication versus equivalent-join sharing.
     """
-    config = config or base_machine()
+    options = options or _DEFAULTS
+    config = options.machine()
     shared_policy = dataclasses.replace(
         REGION_PRED, share_equivalent_joins=True
     )
+    specs = [
+        CellSpec(
+            kind="compile_stats",
+            workload=workload.name,
+            policy=policy,
+            config=config,
+        )
+        for workload in ctx.workloads
+        for policy in (REGION_PRED, shared_policy)
+    ]
+    cells = ctx.run_cells(specs)
     result = JoinSharingResult()
-    for workload in ctx.workloads:
-        baseline = ctx.baseline(workload)
-        source_ops = len(workload.program.instructions)
-        stats = []
-        for policy in (REGION_PRED, shared_policy):
-            compiled = compile_program(
-                workload.program, policy, config, baseline.predictor
-            )
-            cycles = compiled.code.count_cycles(
-                baseline.evaluation.trace, config
-            ).cycles
-            ops = sum(
-                len(unit.region.items)
-                for unit in compiled.code.units.values()
-            )
-            stats.append(
-                (baseline.evaluation.cycles / cycles, ops / source_ops)
-            )
-        (dup_speed, dup_x), (shared_speed, shared_x) = stats
+    for index, workload in enumerate(ctx.workloads):
+        dup, shared = cells[2 * index], cells[2 * index + 1]
         result.rows.append(
-            (workload.name, dup_speed, shared_speed, dup_x, shared_x)
+            (
+                workload.name,
+                dup["speedup"],
+                shared["speedup"],
+                dup["expansion"],
+                shared["expansion"],
+            )
         )
     return result
 
@@ -534,6 +619,18 @@ class ProfileSensitivityResult:
     """Self-trained vs cross-trained region predicating."""
 
     rows: list[tuple[str, float, float]] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "rows": [
+                {
+                    "program": name,
+                    "cross_trained": cross,
+                    "self_trained": self_trained,
+                }
+                for name, cross, self_trained in self.rows
+            ]
+        }
 
     def render(self) -> str:
         table_rows = [
@@ -553,7 +650,7 @@ class ProfileSensitivityResult:
 
 
 def run_profile_sensitivity(
-    ctx: ExperimentContext, config: MachineConfig | None = None
+    ctx: ExperimentContext, options: ExperimentOptions | None = None
 ) -> ProfileSensitivityResult:
     """How much does profile-driven region formation depend on the input?
 
@@ -564,18 +661,26 @@ def run_profile_sensitivity(
     property of the program rather than of the particular input -- which
     is what makes profile-guided region formation deployable.
     """
-    config = config or base_machine()
+    options = options or _DEFAULTS
+    config = options.machine()
+    specs = [
+        CellSpec(
+            kind="profile",
+            workload=workload.name,
+            model="region_pred",
+            config=config,
+            extras=(("mode", mode),),
+        )
+        for workload in ctx.workloads
+        for mode in ("cross", "self")
+    ]
+    cells = ctx.run_cells(specs)
     result = ProfileSensitivityResult()
-    for workload in ctx.workloads:
-        baseline = ctx.baseline(workload)
-        cross = baseline.evaluation.cycles / compile_program(
-            workload.program, "region_pred", config, baseline.predictor
-        ).code.count_cycles(baseline.evaluation.trace, config).cycles
-        self_predictor = StaticPredictor.from_trace(baseline.evaluation.trace)
-        self_trained = baseline.evaluation.cycles / compile_program(
-            workload.program, "region_pred", config, self_predictor
-        ).code.count_cycles(baseline.evaluation.trace, config).cycles
-        result.rows.append((workload.name, cross, self_trained))
+    for index, workload in enumerate(ctx.workloads):
+        cross, self_trained = cells[2 * index], cells[2 * index + 1]
+        result.rows.append(
+            (workload.name, cross["speedup"], self_trained["speedup"])
+        )
     return result
 
 
@@ -585,6 +690,19 @@ def run_profile_sensitivity(
 @dataclass
 class HwCostResult:
     report: hwcost_model.HwCostReport
+
+    def to_dict(self) -> dict:
+        r = self.report
+        return {
+            "normal_regfile": r.normal_regfile,
+            "shadow_storage": r.shadow_storage,
+            "commit_hardware": r.commit_hardware,
+            "shadow_ratio": r.shadow_ratio,
+            "commit_ratio": r.commit_ratio,
+            "total_overhead_ratio": r.total_overhead_ratio,
+            "predicate_eval_gate_delay": r.predicate_eval_gate_delay,
+            "read_path_extra_gates": r.read_path_extra_gates,
+        }
 
     def render(self) -> str:
         r = self.report
@@ -607,9 +725,25 @@ class HwCostResult:
 
 
 def run_hwcost(
-    params: hwcost_model.RegFileParams | None = None,
+    ctx: ExperimentContext | None = None,
+    options: ExperimentOptions | None = None,
 ) -> HwCostResult:
-    return HwCostResult(report=hwcost_model.analyze(params))
+    options = options or _DEFAULTS
+    extras = (
+        (("params", options.hw_params),) if options.hw_params is not None else ()
+    )
+    spec = CellSpec(kind="hwcost", extras=extras)
+    if ctx is None:
+        ctx = ExperimentContext(workloads=[])
+    (cell,) = ctx.run_cells([spec])
+    report = hwcost_model.HwCostReport(
+        normal_regfile=cell["normal_regfile"],
+        shadow_storage=cell["shadow_storage"],
+        commit_hardware=cell["commit_hardware"],
+        predicate_eval_gate_delay=cell["predicate_eval_gate_delay"],
+        read_path_extra_gates=cell["read_path_extra_gates"],
+    )
+    return HwCostResult(report=report)
 
 
 # ----------------------------------------------------------------------
@@ -619,6 +753,20 @@ def run_hwcost(
 class AblationResult:
     title: str
     rows: list[tuple[str, float, float, float]]  # name, base, variant, loss %
+
+    def to_dict(self) -> dict:
+        return {
+            "title": self.title,
+            "rows": [
+                {
+                    "program": name,
+                    "base": base,
+                    "variant": variant,
+                    "delta_pct": loss,
+                }
+                for name, base, variant, loss in self.rows
+            ],
+        }
 
     def render(self) -> str:
         table_rows = [
@@ -632,16 +780,43 @@ class AblationResult:
         )
 
 
+def _paired_speedups(
+    ctx: ExperimentContext,
+    variants: list[tuple[str | None, object, MachineConfig]],
+) -> list[list[float]]:
+    """Speedups for each workload under each (model, policy, config)."""
+    specs = [
+        CellSpec(
+            kind="speedup",
+            workload=workload.name,
+            model=model,
+            policy=policy,  # type: ignore[arg-type]
+            config=config,
+        )
+        for workload in ctx.workloads
+        for model, policy, config in variants
+    ]
+    cells = ctx.run_cells(specs)
+    stride = len(variants)
+    return [
+        [cells[index * stride + offset]["speedup"] for offset in range(stride)]
+        for index in range(len(ctx.workloads))
+    ]
+
+
 def run_shadow_ablation(
-    ctx: ExperimentContext, config: MachineConfig | None = None
+    ctx: ExperimentContext, options: ExperimentOptions | None = None
 ) -> AblationResult:
     """Footnote 1: single vs infinite shadow registers (paper: 0-1%)."""
-    config = config or base_machine()
+    options = options or _DEFAULTS
+    config = options.machine()
     infinite = dataclasses.replace(config, shadow_capacity=None)
+    speedups = _paired_speedups(
+        ctx,
+        [("region_pred", None, config), ("region_pred", None, infinite)],
+    )
     rows = []
-    for workload in ctx.workloads:
-        single = ctx.speedup(workload, "region_pred", config)
-        unlimited = ctx.speedup(workload, "region_pred", infinite)
+    for workload, (single, unlimited) in zip(ctx.workloads, speedups):
         loss = (unlimited - single) / unlimited * 100 if unlimited else 0.0
         rows.append((workload.name, unlimited, single, -loss))
     return AblationResult(
@@ -658,6 +833,19 @@ class BtbAblationResult:
     """Optimistic vs finite-BTB vs fully-charged transfer penalties."""
 
     rows: list[tuple[str, float, float, float]] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "rows": [
+                {
+                    "program": name,
+                    "optimistic": optimistic,
+                    "finite_btb": finite,
+                    "all_charged": charged,
+                }
+                for name, optimistic, finite, charged in self.rows
+            ]
+        }
 
     def render(self) -> str:
         table_rows = [
@@ -677,7 +865,7 @@ class BtbAblationResult:
 
 
 def run_btb_ablation(
-    ctx: ExperimentContext, config: MachineConfig | None = None
+    ctx: ExperimentContext, options: ExperimentOptions | None = None
 ) -> BtbAblationResult:
     """Section 4's BTB assumption: "We optimistically assume the branches
     which are predictable using BTB impose no penalty [...] This
@@ -690,24 +878,26 @@ def run_btb_ablation(
     model reproduces the paper's "few percent"), and the fully-pessimistic
     bracket (every taken transfer pays).
     """
-    config = config or base_machine()
+    options = options or _DEFAULTS
+    config = options.machine()
     finite = dataclasses.replace(config, btb_entries=64)
     pessimistic = dataclasses.replace(config, taken_penalty_btb=1)
+    speedups = _paired_speedups(
+        ctx,
+        [
+            ("region_pred", None, config),
+            ("region_pred", None, finite),
+            ("region_pred", None, pessimistic),
+        ],
+    )
     result = BtbAblationResult()
-    for workload in ctx.workloads:
-        result.rows.append(
-            (
-                workload.name,
-                ctx.speedup(workload, "region_pred", config),
-                ctx.speedup(workload, "region_pred", finite),
-                ctx.speedup(workload, "region_pred", pessimistic),
-            )
-        )
+    for workload, row in zip(ctx.workloads, speedups):
+        result.rows.append((workload.name, *row))
     return result
 
 
 def run_counter_ablation(
-    ctx: ExperimentContext, config: MachineConfig | None = None
+    ctx: ExperimentContext, options: ExperimentOptions | None = None
 ) -> AblationResult:
     """Section 4.2.1: vector-form vs counter-type predicates.
 
@@ -715,12 +905,15 @@ def run_counter_ablation(
     condition-resolving instructions must stay in program order; the
     ablation forces that ordering onto the trace predicating model.
     """
-    config = config or base_machine()
+    options = options or _DEFAULTS
+    config = options.machine()
     ordered = dataclasses.replace(TRACE_PRED, ordered_cond_sets=True)
+    speedups = _paired_speedups(
+        ctx,
+        [(None, TRACE_PRED, config), (None, ordered, config)],
+    )
     rows = []
-    for workload in ctx.workloads:
-        vector = ctx.speedup(workload, TRACE_PRED, config)
-        counter = ctx.speedup(workload, ordered, config)
+    for workload, (vector, counter) in zip(ctx.workloads, speedups):
         loss = (vector - counter) / vector * 100 if vector else 0.0
         rows.append((workload.name, vector, counter, -loss))
     return AblationResult(
@@ -730,3 +923,23 @@ def run_counter_ablation(
         ),
         rows=rows,
     )
+
+
+# ----------------------------------------------------------------------
+# Registry: every experiment, uniformly callable as fn(ctx, options).
+# ----------------------------------------------------------------------
+EXPERIMENTS = {
+    "table2": run_table2,
+    "table3": run_table3,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "hwcost": run_hwcost,
+    "shadow": run_shadow_ablation,
+    "counter": run_counter_ablation,
+    "btb": run_btb_ablation,
+    "codesize": run_code_expansion,
+    "unroll": run_unrolling,
+    "joins": run_join_sharing,
+    "profile": run_profile_sensitivity,
+}

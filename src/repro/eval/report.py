@@ -10,7 +10,11 @@ def render_table(
     rows: Sequence[Sequence[object]],
     title: str | None = None,
 ) -> str:
-    """Fixed-width table with a header rule."""
+    """Fixed-width table with a header rule.
+
+    Handles an empty row set (headers and rule only) and never emits
+    trailing whitespace, so rendered tables diff cleanly.
+    """
     columns = [
         [str(header)] + [str(row[i]) for row in rows]
         for i, header in enumerate(headers)
@@ -29,7 +33,7 @@ def render_table(
                 str(cell).ljust(width) for cell, width in zip(row, widths)
             )
         )
-    return "\n".join(lines)
+    return "\n".join(line.rstrip() for line in lines)
 
 
 def render_bars(
@@ -40,9 +44,14 @@ def render_bars(
     width: int = 50,
     fmt: str = "{:.2f}",
 ) -> str:
-    """Horizontal bar chart (the Figures 6-8 view)."""
+    """Horizontal bar chart (the Figures 6-8 view).
+
+    The longest bar is clamped to *width* characters; non-positive peaks
+    render value columns without bars rather than dividing by zero.
+    """
     if not values:
         return title or ""
+    width = max(1, width)
     peak = max(values)
     label_width = max(len(label) for label in labels)
     lines = []
@@ -51,6 +60,6 @@ def render_bars(
     for label, value in zip(labels, values):
         bar = "#" * max(1, round(width * value / peak)) if peak > 0 else ""
         lines.append(
-            f"{label.ljust(label_width)}  {fmt.format(value):>6}  {bar}"
+            f"{label.ljust(label_width)}  {fmt.format(value):>6}  {bar}".rstrip()
         )
     return "\n".join(lines)

@@ -1,0 +1,540 @@
+"""Parallel, cached experiment runner.
+
+The evaluation decomposes into *cells*: independent (workload, policy,
+machine-config) measurements -- a speedup, a static-expansion ratio, a
+prediction-accuracy vector, a hardware-cost report.  A
+:class:`CellSpec` names one such measurement declaratively, so it can be
+
+* **hashed** -- :func:`cell_cache_key` derives a content key from the
+  workload's program text, its train/eval seeds, the resolved policy
+  fields, the machine configuration and the cell kind, backing a durable
+  on-disk cache (any change to any ingredient is a miss);
+* **shipped** -- specs are plain frozen dataclasses, so cache misses fan
+  out over a :class:`concurrent.futures.ProcessPoolExecutor`; and
+* **merged deterministically** -- results come back in spec order
+  regardless of which worker finished first, so a ``--jobs 4`` run
+  produces byte-identical artifacts to a serial one.
+
+:class:`ExperimentContext` (shared by every driver in
+:mod:`repro.eval.experiments`) owns the workload set, the in-process
+scalar-baseline cache, and a :class:`CellRunner` carrying the
+parallelism/caching knobs plus hit/miss and per-cell wall-time
+telemetry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.branch_prediction import StaticPredictor, successive_accuracy
+from repro.compiler.models import MODELS, REGION_PRED
+from repro.compiler.pipeline import compile_program
+from repro.compiler.policy import ModelPolicy
+from repro.eval import hwcost as hwcost_model
+from repro.ir.cfg import CFG, build_cfg
+from repro.isa.printer import format_program
+from repro.machine.config import MachineConfig
+from repro.machine.scalar import ScalarRun, run_scalar
+from repro.machine.vliw import VLIWMachine
+from repro.workloads import Workload, all_workloads
+
+#: Bump to invalidate every cached cell (evaluator semantics changed).
+CACHE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Cell specification.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class CellSpec:
+    """One independent measurement of the evaluation.
+
+    Kinds:
+
+    * ``baseline`` -- scalar cycles / static size of a workload;
+    * ``accuracy`` -- Table 3 successive-branch prediction accuracy
+      (``extras``: ``max_run``);
+    * ``speedup`` -- speedup of ``model``/``policy`` over the scalar
+      baseline on ``config`` (optionally validated on the VLIW machine);
+    * ``compile_stats`` -- analytic speedup plus static code expansion;
+    * ``profile`` -- region predicating with a cross- or self-trained
+      predictor (``extras``: ``mode``);
+    * ``unroll`` -- region predicating after loop unrolling
+      (``extras``: ``factor``);
+    * ``hwcost`` -- the Section 4.2.1 transistor/gate-delay report
+      (``extras``: optional ``params``).
+    """
+
+    kind: str
+    workload: str | None = None
+    model: str | None = None
+    policy: ModelPolicy | None = None
+    config: MachineConfig | None = None
+    run_machine: bool = False
+    extras: tuple[tuple[str, object], ...] = ()
+
+    def extra(self, key: str, default=None):
+        return dict(self.extras).get(key, default)
+
+    def resolved_policy(self) -> ModelPolicy | None:
+        if self.policy is not None:
+            return self.policy
+        if self.model is not None:
+            return MODELS[self.model]
+        return None
+
+    def label(self) -> str:
+        """Short human-readable identity for telemetry lines."""
+        parts = [self.kind]
+        if self.workload:
+            parts.append(self.workload)
+        policy = self.resolved_policy()
+        if policy is not None:
+            parts.append(policy.name)
+        parts.extend(f"{k}={v}" for k, v in self.extras)
+        return "/".join(str(p) for p in parts)
+
+
+def _canonical(obj):
+    """Reduce dataclasses/enums/tuples to stable JSON-ready structures."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    return obj
+
+
+def cell_cache_key(spec: CellSpec, workload: Workload | None) -> str:
+    """Content hash identifying a cell's result.
+
+    Covers everything the measurement depends on: the program *text* (not
+    just the workload name), the train/eval seeds (memory contents derive
+    from them), every field of the resolved policy and machine config,
+    the cell kind with its extras, and a cache version for evaluator
+    changes.  Changing any ingredient changes the key.
+    """
+    payload = {
+        "version": CACHE_VERSION,
+        "kind": spec.kind,
+        "run_machine": spec.run_machine,
+        "policy": _canonical(spec.resolved_policy()),
+        "config": _canonical(spec.config),
+        "extras": _canonical(dict(spec.extras)),
+    }
+    if workload is not None:
+        payload["workload"] = workload.name
+        payload["program"] = format_program(workload.program)
+        payload["train_seed"] = workload.train_seed
+        payload["eval_seed"] = workload.eval_seed
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Baselines and the shared context.
+# ----------------------------------------------------------------------
+@dataclass
+class WorkloadBaseline:
+    """Cached scalar behaviour of one workload."""
+
+    workload: Workload
+    cfg: CFG
+    predictor: StaticPredictor
+    evaluation: ScalarRun
+
+
+class ExperimentContext:
+    """Shared workload set + scalar-run cache for all experiments.
+
+    Also carries the :class:`CellRunner` (parallelism, on-disk cache,
+    telemetry) the drivers in :mod:`repro.eval.experiments` fan their
+    cells out through.
+    """
+
+    def __init__(
+        self,
+        workloads: list[Workload] | None = None,
+        *,
+        jobs: int = 1,
+        cache_dir: str | Path | None = None,
+        use_cache: bool = True,
+    ):
+        self.workloads = workloads if workloads is not None else all_workloads()
+        self._baselines: dict[str, WorkloadBaseline] = {}
+        self.runner = CellRunner(
+            self, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache
+        )
+
+    def workload(self, name: str) -> Workload:
+        for workload in self.workloads:
+            if workload.name == name:
+                return workload
+        from repro.workloads import get_workload
+
+        return get_workload(name)
+
+    def baseline(self, workload: Workload) -> WorkloadBaseline:
+        if workload.name not in self._baselines:
+            cfg = build_cfg(workload.program)
+            train = run_scalar(workload.program, cfg, workload.train_memory())
+            predictor = StaticPredictor.from_trace(train.trace)
+            evaluation = run_scalar(
+                workload.program, cfg, workload.eval_memory()
+            )
+            self._baselines[workload.name] = WorkloadBaseline(
+                workload=workload,
+                cfg=cfg,
+                predictor=predictor,
+                evaluation=evaluation,
+            )
+        return self._baselines[workload.name]
+
+    def speedup(
+        self,
+        workload: Workload,
+        model: str | ModelPolicy,
+        config: MachineConfig,
+        *,
+        run_machine: bool = False,
+    ) -> float:
+        """Speedup of *model* over the scalar baseline on *workload*."""
+        baseline = self.baseline(workload)
+        compiled = compile_program(
+            workload.program, model, config, baseline.predictor
+        )
+        analytic = compiled.code.count_cycles(baseline.evaluation.trace, config)
+        cycles = analytic.cycles
+        if run_machine and compiled.vliw is not None:
+            machine = VLIWMachine(compiled.vliw, config, workload.eval_memory())
+            result = machine.run()
+            if result.architectural_output != tuple(baseline.evaluation.output):
+                raise AssertionError(
+                    f"{workload.name}/{compiled.policy.name}: scheduled code "
+                    "diverged from scalar semantics"
+                )
+            cycles = result.cycles
+        return baseline.evaluation.cycles / cycles
+
+    def run_cells(self, specs: list[CellSpec]) -> list[dict]:
+        """Evaluate *specs* (cached, possibly in parallel), in order."""
+        return self.runner.run(specs)
+
+
+# ----------------------------------------------------------------------
+# Cell evaluation (runs in-process or inside pool workers).
+# ----------------------------------------------------------------------
+def evaluate_cell(spec: CellSpec, ctx: ExperimentContext) -> dict:
+    """Compute one cell.  Pure: output depends only on the spec."""
+    if spec.kind == "hwcost":
+        params = spec.extra("params") or hwcost_model.RegFileParams()
+        report = hwcost_model.analyze(params)
+        return {
+            "normal_regfile": report.normal_regfile,
+            "shadow_storage": report.shadow_storage,
+            "commit_hardware": report.commit_hardware,
+            "predicate_eval_gate_delay": report.predicate_eval_gate_delay,
+            "read_path_extra_gates": report.read_path_extra_gates,
+        }
+
+    assert spec.workload is not None, f"cell {spec.kind} needs a workload"
+    workload = ctx.workload(spec.workload)
+    baseline = ctx.baseline(workload)
+
+    if spec.kind == "baseline":
+        return {
+            "lines": workload.program.static_line_count(),
+            "cycles": baseline.evaluation.cycles,
+            "instructions": baseline.evaluation.instructions,
+        }
+
+    if spec.kind == "accuracy":
+        return {
+            "accuracy": successive_accuracy(
+                baseline.predictor,
+                baseline.evaluation.trace,
+                spec.extra("max_run", 8),
+            )
+        }
+
+    if spec.kind == "speedup":
+        assert spec.config is not None
+        return {
+            "speedup": ctx.speedup(
+                workload,
+                spec.resolved_policy(),
+                spec.config,
+                run_machine=spec.run_machine,
+            )
+        }
+
+    if spec.kind == "compile_stats":
+        assert spec.config is not None
+        compiled = compile_program(
+            workload.program, spec.resolved_policy(), spec.config,
+            baseline.predictor,
+        )
+        cycles = compiled.code.count_cycles(
+            baseline.evaluation.trace, spec.config
+        ).cycles
+        scheduled_ops = sum(
+            len(unit.region.items) for unit in compiled.code.units.values()
+        )
+        source_ops = len(workload.program.instructions)
+        return {
+            "speedup": baseline.evaluation.cycles / cycles,
+            "expansion": scheduled_ops / source_ops,
+        }
+
+    if spec.kind == "profile":
+        assert spec.config is not None
+        mode = spec.extra("mode", "cross")
+        if mode == "self":
+            predictor = StaticPredictor.from_trace(baseline.evaluation.trace)
+        else:
+            predictor = baseline.predictor
+        compiled = compile_program(
+            workload.program, "region_pred", spec.config, predictor
+        )
+        cycles = compiled.code.count_cycles(
+            baseline.evaluation.trace, spec.config
+        ).cycles
+        return {"speedup": baseline.evaluation.cycles / cycles}
+
+    if spec.kind == "unroll":
+        assert spec.config is not None
+        from repro.compiler.unroll import unroll_loops
+
+        factor = spec.extra("factor", 1)
+        if factor == 1:
+            program = workload.program
+        else:
+            program = unroll_loops(
+                build_cfg(workload.program), factor
+            ).to_program()
+        cfg = build_cfg(program)
+        train = run_scalar(program, cfg, workload.train_memory())
+        predictor = StaticPredictor.from_trace(train.trace)
+        policy = dataclasses.replace(
+            spec.resolved_policy() or REGION_PRED, window_blocks=16 * factor
+        )
+        compiled = compile_program(program, policy, spec.config, predictor)
+        evaluation = run_scalar(program, cfg, workload.eval_memory())
+        if evaluation.output != baseline.evaluation.output:
+            raise AssertionError(
+                f"{workload.name}: unrolling changed semantics"
+            )
+        cycles = compiled.code.count_cycles(
+            evaluation.trace, spec.config
+        ).cycles
+        return {"speedup": baseline.evaluation.cycles / cycles}
+
+    raise ValueError(f"unknown cell kind {spec.kind!r}")
+
+
+# Per-process context for pool workers.  The parent sets this (with
+# baselines pre-warmed) before creating the pool, so fork-started
+# workers inherit the scalar runs for free; under a spawn start method
+# the module reloads to None and each worker lazily builds its own.
+_worker_ctx: ExperimentContext | None = None
+
+
+def _set_worker_ctx(ctx: ExperimentContext | None) -> None:
+    global _worker_ctx
+    _worker_ctx = ctx
+
+
+def _pool_evaluate(spec: CellSpec) -> tuple[dict, float]:
+    global _worker_ctx
+    if _worker_ctx is None:
+        _worker_ctx = ExperimentContext()
+    start = time.perf_counter()
+    values = evaluate_cell(spec, _worker_ctx)
+    return values, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# The runner: cache + fan-out + telemetry.
+# ----------------------------------------------------------------------
+@dataclass
+class RunnerStats:
+    """Cache and wall-time telemetry for one runner's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    cell_times: list[tuple[str, float]] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    def report(self) -> str:
+        lines = [
+            f"cells: {self.total} "
+            f"(cache hits {self.hits}, misses {self.misses}, "
+            f"hit rate {self.hit_rate:.0%}); "
+            f"wall {self.wall_seconds:.2f}s"
+        ]
+        if self.cell_times:
+            slowest = sorted(
+                self.cell_times, key=lambda item: item[1], reverse=True
+            )[:5]
+            lines.append(
+                "slowest cells: "
+                + ", ".join(f"{label} {secs:.3f}s" for label, secs in slowest)
+            )
+        return "\n".join(lines)
+
+
+class CellRunner:
+    """Evaluates cell batches against a content-keyed disk cache,
+    fanning cache misses out over a process pool when ``jobs > 1``."""
+
+    def __init__(
+        self,
+        ctx: ExperimentContext,
+        *,
+        jobs: int = 1,
+        cache_dir: str | Path | None = None,
+        use_cache: bool = True,
+    ):
+        self.ctx = ctx
+        self.jobs = max(1, jobs)
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.use_cache = use_cache and self.cache_dir is not None
+        self.stats = RunnerStats()
+
+    # -- cache ---------------------------------------------------------
+    def _cache_path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{key}.json"
+
+    def _cache_load(self, key: str) -> dict | None:
+        if not self.use_cache:
+            return None
+        path = self._cache_path(key)
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if document.get("version") != CACHE_VERSION:
+            return None
+        values = document.get("values")
+        return values if isinstance(values, dict) else None
+
+    def _cache_store(self, key: str, spec: CellSpec, values: dict) -> None:
+        if not self.use_cache:
+            return
+        assert self.cache_dir is not None
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._cache_path(key)
+        document = {
+            "version": CACHE_VERSION,
+            "label": spec.label(),
+            "values": values,
+        }
+        temp = path.with_suffix(f".tmp.{os.getpid()}")
+        temp.write_text(json.dumps(document, sort_keys=True))
+        os.replace(temp, path)  # atomic vs concurrent runs
+
+    # -- evaluation ----------------------------------------------------
+    def _can_pool(self, specs: list[CellSpec]) -> bool:
+        """Pool workers resolve workloads from the global registry; a
+        context built around ad-hoc workloads must stay in-process."""
+        if self.jobs <= 1 or len(specs) <= 1:
+            return False
+        from repro.workloads import get_workload
+
+        for spec in specs:
+            if spec.workload is None:
+                continue
+            try:
+                registered = get_workload(spec.workload)
+            except KeyError:
+                return False
+            if registered.program is not self.ctx.workload(spec.workload).program:
+                # Same name, different program: registry lookup would
+                # silently measure the wrong thing.
+                if format_program(registered.program) != format_program(
+                    self.ctx.workload(spec.workload).program
+                ):
+                    return False
+        return True
+
+    def run(self, specs: list[CellSpec]) -> list[dict]:
+        started = time.perf_counter()
+        keys = [
+            cell_cache_key(
+                spec,
+                self.ctx.workload(spec.workload) if spec.workload else None,
+            )
+            for spec in specs
+        ]
+        results: list[dict | None] = [None] * len(specs)
+
+        # Cache pass; duplicate keys within a batch compute once.
+        pending: dict[str, list[int]] = {}
+        for index, key in enumerate(keys):
+            cached = self._cache_load(key)
+            if cached is not None:
+                results[index] = cached
+                self.stats.hits += 1
+            else:
+                pending.setdefault(key, []).append(index)
+
+        if pending:
+            order = list(pending.items())  # deterministic batch order
+            todo = [specs[indices[0]] for _, indices in order]
+            if self._can_pool(todo):
+                # Pre-warm every needed baseline in the parent: workers
+                # started by fork inherit the scalar runs copy-on-write
+                # instead of re-interpreting each workload per process.
+                for spec in todo:
+                    if spec.workload is not None:
+                        self.ctx.baseline(self.ctx.workload(spec.workload))
+                _set_worker_ctx(self.ctx)
+                try:
+                    chunk = max(1, len(todo) // (self.jobs * 4))
+                    with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                        outcomes = list(
+                            pool.map(_pool_evaluate, todo, chunksize=chunk)
+                        )
+                finally:
+                    _set_worker_ctx(None)
+            else:
+                outcomes = []
+                for spec in todo:
+                    start = time.perf_counter()
+                    values = evaluate_cell(spec, self.ctx)
+                    outcomes.append((values, time.perf_counter() - start))
+            for (key, indices), spec, (values, seconds) in zip(
+                order, todo, outcomes
+            ):
+                self.stats.misses += len(indices)
+                self.stats.cell_times.append((spec.label(), seconds))
+                self._cache_store(key, spec, values)
+                for index in indices:
+                    results[index] = values
+
+        self.stats.wall_seconds += time.perf_counter() - started
+        assert all(value is not None for value in results)
+        return results  # type: ignore[return-value]

@@ -1,0 +1,111 @@
+"""Round-trip tests: every experiment's to_dict() survives the artifact
+schema, and the writer emits canonical, reloadable documents."""
+
+import pytest
+
+from repro.eval import EXPERIMENTS, ExperimentContext, ExperimentOptions
+from repro.eval.artifact import (
+    SCHEMA,
+    ArtifactError,
+    artifact_path,
+    dumps_artifact,
+    load_artifact,
+    make_artifact,
+    validate_artifact,
+    write_artifact,
+)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def small_ctx():
+    return ExperimentContext([get_workload("grep"), get_workload("li")])
+
+
+@pytest.fixture(scope="module")
+def small_options():
+    """Trimmed sweeps keep the full-registry round-trip fast."""
+    return ExperimentOptions(
+        run_machine=False,
+        max_run=3,
+        widths=(2,),
+        depths=(1, 2),
+        factors=(1, 2),
+        machines=((4, 4),),
+    )
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_every_experiment_round_trips(name, small_ctx, small_options, tmp_path):
+    result = EXPERIMENTS[name](small_ctx, small_options)
+    document = make_artifact(name, result)
+    validate_artifact(document)
+    assert document["schema"] == SCHEMA
+    assert document["experiment"] == name
+
+    path = write_artifact(tmp_path, name, result)
+    assert path == tmp_path / f"{name}.json"
+    reloaded = load_artifact(path)
+    assert reloaded == document
+
+
+def test_dumps_is_canonical(small_ctx, small_options):
+    result = EXPERIMENTS["table2"](small_ctx, small_options)
+    first = dumps_artifact(make_artifact("table2", result))
+    second = dumps_artifact(make_artifact("table2", result))
+    assert first == second
+    assert first.endswith("\n")
+
+
+def test_artifact_path_resolution(tmp_path):
+    assert artifact_path(tmp_path, "fig7") == tmp_path / "fig7.json"
+    explicit = tmp_path / "custom.json"
+    assert artifact_path(explicit, "fig7") == explicit
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        with pytest.raises(ArtifactError):
+            validate_artifact([1, 2, 3])
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ArtifactError, match="schema"):
+            validate_artifact(
+                {"schema": "bogus/v9", "experiment": "x", "data": {"a": 1}}
+            )
+
+    def test_rejects_missing_experiment(self):
+        with pytest.raises(ArtifactError, match="experiment"):
+            validate_artifact({"schema": SCHEMA, "data": {"a": 1}})
+
+    def test_rejects_empty_data(self):
+        with pytest.raises(ArtifactError, match="data"):
+            validate_artifact(
+                {"schema": SCHEMA, "experiment": "x", "data": {}}
+            )
+
+    def test_rejects_non_json_payload(self):
+        with pytest.raises(ArtifactError, match="non-JSON"):
+            validate_artifact(
+                {
+                    "schema": SCHEMA,
+                    "experiment": "x",
+                    "data": {"bad": object()},
+                }
+            )
+
+    def test_rejects_non_finite_floats(self):
+        with pytest.raises(ArtifactError, match="non-finite"):
+            validate_artifact(
+                {
+                    "schema": SCHEMA,
+                    "experiment": "x",
+                    "data": {"bad": float("inf")},
+                }
+            )
+
+    def test_rejects_unparseable_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(ArtifactError, match="not JSON"):
+            load_artifact(path)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.eval import (
     ExperimentContext,
+    ExperimentOptions,
     run_counter_ablation,
     run_fig6,
     run_fig7,
@@ -56,7 +57,7 @@ class TestDrivers:
         assert "Table 2" in result.render()
 
     def test_table3_structure(self, small_ctx):
-        result = run_table3(small_ctx, max_run=4)
+        result = run_table3(small_ctx, ExperimentOptions(max_run=4))
         assert set(result.rows) == {"grep", "li"}
         assert all(len(v) == 4 for v in result.rows.values())
         assert "grep" in result.render()
@@ -74,7 +75,7 @@ class TestDrivers:
         assert means["region_pred"] >= means["global"]
 
     def test_fig8_grid(self, small_ctx):
-        result = run_fig8(small_ctx, widths=(2, 4), depths=(1, 4))
+        result = run_fig8(small_ctx, ExperimentOptions(widths=(2, 4), depths=(1, 4)))
         assert set(result.geomeans) == {(2, 1), (2, 4), (4, 1), (4, 4)}
         assert result.geomeans[(4, 4)] >= result.geomeans[(4, 1)] - 1e-9
         assert "Figure 8" in result.render()
@@ -112,18 +113,10 @@ class TestHwCost:
         assert "0.76" in text and "3 gates" in text
 
 
+# The renderers' unit tests live in tests/eval/test_report.py; this
+# module keeps one smoke check that results render through them.
 class TestReport:
-    def test_render_table_alignment(self):
-        text = render_table(["a", "bb"], [["x", 1], ["yyy", 22]])
-        lines = text.splitlines()
-        assert len(lines) == 4
-        assert lines[0].startswith("a")
-
-    def test_render_bars(self):
-        text = render_bars(["one", "two"], [1.0, 2.0], title="t")
-        lines = text.splitlines()
-        assert lines[0] == "t"
-        assert lines[2].count("#") > lines[1].count("#")
-
-    def test_render_bars_empty(self):
-        assert render_bars([], [], title="t") == "t"
+    def test_results_render_through_report(self, small_ctx):
+        text = run_table2(small_ctx).render()
+        assert render_table(["Program"], [["grep"]]).splitlines()[0] in text
+        assert render_bars(["x"], [1.0]).count("#") > 0

@@ -1,0 +1,58 @@
+"""Unit tests for the ASCII renderers (tables and bar charts)."""
+
+from repro.eval.report import render_bars, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["a", "bb"], [["x", 1], ["yyy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_empty_rows_render_headers_only(self):
+        text = render_table(["col1", "col2"], [], title="empty")
+        lines = text.splitlines()
+        assert lines == ["empty", "col1  col2", "----  ----"]
+
+    def test_wide_cell_stretches_column(self):
+        text = render_table(["h"], [["a very wide value"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) == len("a very wide value")
+
+    def test_no_trailing_whitespace(self):
+        text = render_table(["a", "b"], [["xx", "y"], ["z", "ww"]], title="t")
+        assert all(line == line.rstrip() for line in text.splitlines())
+
+
+class TestRenderBars:
+    def test_proportional_bars(self):
+        text = render_bars(["one", "two"], [1.0, 2.0], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_empty_values(self):
+        assert render_bars([], [], title="t") == "t"
+        assert render_bars([], []) == ""
+
+    def test_zero_peak_renders_without_bars(self):
+        text = render_bars(["a", "b"], [0.0, 0.0])
+        for line in text.splitlines():
+            assert "#" not in line
+            assert line == line.rstrip()
+
+    def test_width_clamps_longest_bar(self):
+        text = render_bars(["a", "b"], [1.0, 10.0], width=8)
+        longest = max(line.count("#") for line in text.splitlines())
+        assert longest == 8
+
+    def test_nonpositive_width_still_renders(self):
+        text = render_bars(["a"], [3.0], width=0)
+        assert text.count("#") == 1
+
+    def test_minimum_one_hash_for_tiny_values(self):
+        text = render_bars(["tiny", "huge"], [0.001, 100.0], width=10)
+        tiny_line = text.splitlines()[0]
+        assert tiny_line.count("#") == 1

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.eval.artifact import SCHEMA, load_artifact
 
 
 class TestCli:
@@ -38,12 +41,64 @@ class TestCli:
         assert "speedup" in out and "recoveries" in out
 
     def test_experiment_hwcost(self, capsys):
-        assert main(["experiment", "hwcost"]) == 0
+        assert main(["experiment", "hwcost", "--no-cache"]) == 0
         assert "3 gates" in capsys.readouterr().out
 
     def test_experiment_table3(self, capsys):
-        assert main(["experiment", "table3"]) == 0
+        assert main(["experiment", "table3", "--no-cache"]) == 0
         assert "grep" in capsys.readouterr().out
+
+    def test_experiment_json_directory(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        out = tmp_path / "artifacts"
+        assert (
+            main(
+                ["experiment", "table2", "--cache-dir", str(cache),
+                 "--json", str(out)]
+            )
+            == 0
+        )
+        document = load_artifact(out / "table2.json")
+        assert document["schema"] == SCHEMA
+        assert document["experiment"] == "table2"
+        assert len(document["data"]["rows"]) == 6
+        err = capsys.readouterr().err
+        assert "misses 6" in err
+
+    def test_experiment_json_explicit_file(self, tmp_path, capsys):
+        target = tmp_path / "t2.json"
+        assert (
+            main(["experiment", "table2", "--no-cache", "--json", str(target)])
+            == 0
+        )
+        assert json.loads(target.read_text())["experiment"] == "table2"
+
+    def test_experiment_all_rejects_json_file_target(self, tmp_path, capsys):
+        code = main(
+            ["experiment", "all", "--no-cache", "--json",
+             str(tmp_path / "one.json")]
+        )
+        assert code == 2
+        assert "directory" in capsys.readouterr().err
+
+    def test_experiment_warm_cache_hits(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        args = ["experiment", "table3", "--cache-dir", str(cache)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "hit rate 100%" in err
+
+    def test_experiment_jobs_flag_parses(self, tmp_path, capsys):
+        assert (
+            main(
+                ["experiment", "table2", "--jobs", "2", "--cache-dir",
+                 str(tmp_path / "c")]
+            )
+            == 0
+        )
+        assert "Table 2" in capsys.readouterr().out
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
