@@ -34,3 +34,11 @@ def test_btb_ablation(benchmark, ctx):
             f"got {inflation:.1f}%"
         )
         assert charged > 1.0, f"{name}: still a speedup when fully charged"
+        # The finite-BTB cell must carry real hit/miss statistics: these
+        # kernels are loop-dominated, so a 64-entry BTB captures almost
+        # every taken transfer, yet compulsory misses keep it below 100%.
+        hit_rate = result.hit_rates[name]
+        assert 0.5 < hit_rate < 1.0, (
+            f"{name}: implausible finite-BTB hit rate {hit_rate:.1%} -- "
+            "statistics plumbing from the cycle counter is broken"
+        )

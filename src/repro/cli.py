@@ -8,30 +8,49 @@ Commands:
 * ``compile``    -- compile under a model and show the scheduled code
   and static statistics.
 * ``exec``       -- compile with a predicating model and execute the
-  result on the cycle-level VLIW machine.
+  result on the cycle-level VLIW machine (``--trace-out`` captures a
+  Perfetto cycle trace).
+* ``profile``    -- instrumented machine run: counters, occupancy
+  histograms, the "top regions by cycles" attribution table, and
+  optional ``--json`` / ``--trace-out`` exports.
 * ``experiment`` -- regenerate a paper table/figure (or ``all``), with
   parallel fan-out (``--jobs``), a durable result cache
-  (``--cache-dir`` / ``--no-cache``), and JSON artifacts (``--json``).
+  (``--cache-dir`` / ``--no-cache``), JSON artifacts (``--json``, ``-``
+  for stdout), runner telemetry in the artifact (``--metrics``), and
+  ``--quiet`` to suppress the stderr telemetry summary.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.analysis.branch_prediction import StaticPredictor
 from repro.compiler import MODELS, compile_program, evaluate_model
 from repro.eval import EXPERIMENTS, ExperimentContext, ExperimentOptions
-from repro.eval.artifact import write_artifact
+from repro.eval.artifact import dumps_artifact, make_artifact, write_artifact
 from repro.ir import build_cfg
 from repro.isa import parse_program
 from repro.machine.config import base_machine
 from repro.machine.scalar import run_scalar
+from repro.obs import CounterSink, CycleTraceRecorder, attribute_regions
 from repro.sim.memory import Memory
 from repro.workloads import all_workloads, get_workload
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Schema of ``repro profile --json`` documents.
+PROFILE_SCHEMA = "repro-profile/v1"
+
+#: CLI aliases for the executable predicating models.
+_PROFILE_MODELS = {
+    "trace_pred": "trace_pred",
+    "region_pred": "region_pred",
+    # The paper's "predicating" model is region predication.
+    "predicating": "region_pred",
+}
 
 
 def _load_program_and_memory(target: str, seed: int):
@@ -86,6 +105,15 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _write_trace(tracer: CycleTraceRecorder, target: str) -> None:
+    path = Path(target)
+    tracer.write(path)
+    print(
+        f"[trace] {path} ({len(tracer.track_names())} tracks)",
+        file=sys.stderr,
+    )
+
+
 def cmd_exec(args) -> int:
     program, train, memory = _load_program_and_memory(args.target, args.seed)
     if args.model != "scalar" and not MODELS[args.model].executable:
@@ -95,12 +123,14 @@ def cmd_exec(args) -> int:
             file=sys.stderr,
         )
         return 2
+    tracer = CycleTraceRecorder(program.name) if args.trace_out else None
     evaluation = evaluate_model(
         program,
         args.model,
         base_machine(),
         train_memory=train,
         eval_memory=memory,
+        tracer=tracer,
     )
     machine = evaluation.machine
     assert machine is not None
@@ -111,12 +141,89 @@ def cmd_exec(args) -> int:
     print(f"speculative   : {machine.speculative_ops}")
     print(f"squashed      : {machine.squashed_ops}")
     print(f"recoveries    : {machine.recoveries}")
+    if tracer is not None:
+        _write_trace(tracer, args.trace_out)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    program, train, memory = _load_program_and_memory(args.target, args.seed)
+    model = _PROFILE_MODELS[args.model]
+    sink = CounterSink()
+    tracer = CycleTraceRecorder(program.name) if args.trace_out else None
+    evaluation = evaluate_model(
+        program,
+        model,
+        base_machine(),
+        train_memory=train,
+        eval_memory=memory,
+        sink=sink,
+        tracer=tracer,
+    )
+    machine = evaluation.machine
+    assert machine is not None
+    report = attribute_regions(sink)
+
+    print(f"workload      : {args.target}")
+    print(f"model         : {evaluation.model}")
+    print(f"scalar cycles : {evaluation.scalar.cycles}")
+    print(f"VLIW cycles   : {machine.cycles}")
+    print(f"speedup       : {evaluation.speedup:.2f}x")
+    print()
+    print(report.render(args.top))
+    print()
+    print("counters:")
+    for name in sorted(sink.counters):
+        if "/" in name:
+            continue  # keyed families are the attribution table above
+        print(f"  {name:36s} {sink.counters[name]}")
+    print("histograms:")
+    for name in sorted(sink.histograms):
+        summary = sink.histogram_summary(name)
+        print(
+            f"  {name:36s} count {summary['count']}"
+            f"  min {summary['min']}  mean {summary['mean']:.2f}"
+            f"  max {summary['max']}"
+        )
+
+    if tracer is not None:
+        _write_trace(tracer, args.trace_out)
+    if args.json:
+        document = {
+            "schema": PROFILE_SCHEMA,
+            "workload": args.target,
+            "model": evaluation.model,
+            "seed": args.seed,
+            "scalar_cycles": evaluation.scalar.cycles,
+            "machine_cycles": machine.cycles,
+            "speedup": evaluation.speedup,
+            "metrics": sink.to_dict(),
+            "attribution": report.to_dict(),
+        }
+        text = json.dumps(document, sort_keys=True, indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(text)
+        else:
+            path = Path(args.json)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+            print(f"[profile] {path}", file=sys.stderr)
     return 0
 
 
 def cmd_experiment(args) -> int:
     names = list(EXPERIMENTS) if args.name == "all" else [args.name]
-    json_target = Path(args.json) if args.json else None
+    json_stdout = args.json == "-"
+    json_target = (
+        Path(args.json) if args.json and not json_stdout else None
+    )
+    if json_stdout and len(names) > 1:
+        print(
+            "--json - writes one artifact to stdout; pick a single "
+            "experiment (not 'all')",
+            file=sys.stderr,
+        )
+        return 2
     if (
         json_target is not None
         and json_target.suffix == ".json"
@@ -140,12 +247,19 @@ def cmd_experiment(args) -> int:
     options = ExperimentOptions()
     for name in names:
         result = EXPERIMENTS[name](ctx, options)
-        print(result.render())
-        print()
-        if json_target is not None:
-            path = write_artifact(json_target, name, result)
-            print(f"[artifact] {path}", file=sys.stderr)
-    print(ctx.runner.stats.report(), file=sys.stderr)
+        # Runner telemetry at artifact-write time (cumulative over the
+        # run); nondeterministic wall time, so strictly opt-in.
+        metrics = ctx.runner.stats.to_metrics() if args.metrics else None
+        if json_stdout:
+            sys.stdout.write(dumps_artifact(make_artifact(name, result, metrics)))
+        else:
+            print(result.render())
+            print()
+            if json_target is not None:
+                path = write_artifact(json_target, name, result, metrics)
+                print(f"[artifact] {path}", file=sys.stderr)
+    if not args.quiet:
+        print(ctx.runner.stats.report(), file=sys.stderr)
     return 0
 
 
@@ -185,6 +299,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--model", default="region_pred", choices=["trace_pred", "region_pred"]
     )
     exec_parser.add_argument("--seed", type=int, default=2)
+    exec_parser.add_argument(
+        "--trace-out",
+        metavar="TRACE",
+        help="write a Perfetto/Chrome trace_event JSON of the machine run",
+    )
+
+    profile_parser = commands.add_parser(
+        "profile",
+        help="instrumented machine run: counters + per-region attribution",
+    )
+    profile_parser.add_argument("target", help="workload name or assembly file")
+    profile_parser.add_argument(
+        "--model",
+        default="region_pred",
+        choices=sorted(_PROFILE_MODELS),
+        help="executable model ('predicating' = the paper's region_pred)",
+    )
+    profile_parser.add_argument("--seed", type=int, default=2)
+    profile_parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="K",
+        help="regions shown in the attribution table (default: 10)",
+    )
+    profile_parser.add_argument(
+        "--json",
+        metavar="OUT",
+        help=f"write the {PROFILE_SCHEMA} document ('-' for stdout)",
+    )
+    profile_parser.add_argument(
+        "--trace-out",
+        metavar="TRACE",
+        help="write a Perfetto/Chrome trace_event JSON of the machine run",
+    )
 
     experiment_parser = commands.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -218,8 +367,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OUT",
         help=(
             "write JSON artifacts: a directory gets <experiment>.json per "
-            "experiment; a *.json path is used verbatim (single experiment)"
+            "experiment; a *.json path is used verbatim (single "
+            "experiment); '-' streams one artifact to stdout"
         ),
+    )
+    experiment_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "embed runner telemetry in artifacts (schema becomes "
+            "repro-experiment/v2; wall time makes it nondeterministic)"
+        ),
+    )
+    experiment_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the runner telemetry summary on stderr",
     )
     return parser
 
@@ -231,6 +394,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": cmd_run,
         "compile": cmd_compile,
         "exec": cmd_exec,
+        "profile": cmd_profile,
         "experiment": cmd_experiment,
     }
     return handlers[args.command](args)

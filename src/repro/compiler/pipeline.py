@@ -40,6 +40,8 @@ from repro.machine.config import MachineConfig
 from repro.machine.program import VLIWProgram
 from repro.machine.scalar import ScalarRun, run_scalar
 from repro.machine.vliw import VLIWMachine, VLIWResult
+from repro.obs.metrics import NULL_SINK, MetricsSink
+from repro.obs.trace_events import CycleTraceRecorder
 from repro.sim.memory import Memory
 
 
@@ -160,8 +162,14 @@ def evaluate_model(
     fault_handler=None,
     run_machine: bool | None = None,
     max_steps: int | None = None,
+    sink: MetricsSink = NULL_SINK,
+    tracer: CycleTraceRecorder | None = None,
 ) -> ModelEvaluation:
-    """The full paper methodology for one (program, model, machine) triple."""
+    """The full paper methodology for one (program, model, machine) triple.
+
+    *sink* and *tracer* instrument the cycle-level machine run only (the
+    scalar baseline runs un-instrumented); both default to off.
+    """
     cfg = build_cfg(program)
     train = run_scalar(
         program, cfg, train_memory, fault_handler=fault_handler,
@@ -187,6 +195,8 @@ def evaluate_model(
             config,
             eval_memory.clone(),
             fault_handler=fault_handler,
+            sink=sink,
+            tracer=tracer,
         )
         machine_result = machine.run()
         if machine_result.architectural_output != evaluation.output:

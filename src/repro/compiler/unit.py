@@ -71,6 +71,15 @@ class CycleCount:
 
     cycles: int
     region_entries: int
+    # Finite-BTB model statistics (both zero under the paper's optimistic
+    # infinite-BTB assumption, where no buffer is modelled at all).
+    btb_hits: int = 0
+    btb_misses: int = 0
+
+    @property
+    def btb_hit_rate(self) -> float:
+        total = self.btb_hits + self.btb_misses
+        return self.btb_hits / total if total else 1.0
 
 
 class ScheduledCode:
@@ -110,7 +119,12 @@ class ScheduledCode:
                 total += config.taken_penalty_btb
             previous_header = header
             position += consumed
-        return CycleCount(cycles=total, region_entries=entries)
+        return CycleCount(
+            cycles=total,
+            region_entries=entries,
+            btb_hits=btb.hits if btb is not None else 0,
+            btb_misses=btb.misses if btb is not None else 0,
+        )
 
     def _walk_unit(
         self, unit: ScheduledUnit, blocks: list[int], start: int

@@ -27,6 +27,7 @@ def emit_vliw(
     """Lay out every unit and resolve exit labels."""
     order = [entry] + sorted(origin for origin in units if origin != entry)
     bundles: list[Bundle] = []
+    provenance: list[tuple[int, ...]] = []
     labels: dict[str, int] = {}
     regions: list[RegionSpan] = []
 
@@ -37,20 +38,29 @@ def emit_vliw(
         labels[f"B{origin}"] = start
         for cycle_items in unit.schedule.bundles:
             ops = []
+            origins = []
             for index in sorted(cycle_items):
-                instr = unit.region.items[index].instr
+                item = unit.region.items[index]
+                instr = item.instr
                 shadow = graph.shadow_positions.get(index)
                 if shadow:
                     instr = instr.replace(shadow=frozenset(shadow))
                 ops.append(instr)
+                origins.append(unit.tree.nodes[item.node_id].origin)
             bundles.append(Bundle(tuple(ops)))
+            provenance.append(tuple(origins))
         if len(bundles) == start:
             # A degenerate empty region still needs one bundle to land on.
             bundles.append(Bundle(()))
+            provenance.append(())
         regions.append(RegionSpan(f"B{origin}", start, len(bundles)))
 
     program = VLIWProgram(
-        bundles=bundles, labels=labels, regions=regions, name=name
+        bundles=bundles,
+        labels=labels,
+        regions=regions,
+        name=name,
+        provenance=provenance,
     )
     program.validate()
     return program

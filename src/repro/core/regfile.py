@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from repro.core.ccr import CCR
 from repro.core.exceptions import FaultRecord, ScheduleViolation
 from repro.core.predicate import Predicate, PredValue
+from repro.obs.metrics import NULL_SINK, MetricsSink
 
 
 @dataclass
@@ -80,6 +81,7 @@ class PredicatedRegisterFile:
         *,
         shadow_capacity: int | None = 1,
         zero_reg: int | None = 0,
+        sink: MetricsSink = NULL_SINK,
     ):
         if num_regs < 1:
             raise ValueError("need at least one register")
@@ -88,6 +90,7 @@ class PredicatedRegisterFile:
         self.num_regs = num_regs
         self.shadow_capacity = shadow_capacity
         self.zero_reg = zero_reg
+        self.sink = sink
         self.entries = [RegisterFileEntry() for _ in range(num_regs)]
 
     # ------------------------------------------------------------------
@@ -208,6 +211,10 @@ class PredicatedRegisterFile:
         """
         events = CommitEvents()
         values = ccr.values()
+        if self.sink.enabled:
+            self.sink.observe(
+                "regfile.shadow_occupancy", self.shadow_occupancy()
+            )
         for reg, entry in enumerate(self.entries):
             if not entry.pending:
                 continue
@@ -225,6 +232,9 @@ class PredicatedRegisterFile:
                 else:
                     events.squashed.append(reg)
             entry.pending = kept
+        if self.sink.enabled:
+            self.sink.count("regfile.commits", len(events.committed))
+            self.sink.count("regfile.squashes", len(events.squashed))
         return events
 
     def invalidate_speculative(self) -> None:
@@ -238,6 +248,10 @@ class PredicatedRegisterFile:
     def sequential_snapshot(self) -> tuple[int, ...]:
         """The committed architectural state, for validation."""
         return tuple(entry.sequential for entry in self.entries)
+
+    def shadow_occupancy(self) -> int:
+        """Buffered speculative values across all registers."""
+        return sum(len(entry.pending) for entry in self.entries)
 
     def has_speculative_state(self) -> bool:
         return any(entry.pending for entry in self.entries)

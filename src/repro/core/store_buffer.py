@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from repro.core.ccr import CCR
 from repro.core.exceptions import FaultRecord, ScheduleViolation
 from repro.core.predicate import ALWAYS, Predicate, PredValue
+from repro.obs.metrics import NULL_SINK, MetricsSink
 
 
 @dataclass
@@ -59,10 +60,11 @@ class StoreBufferEvents:
 class PredicatedStoreBuffer:
     """FIFO of predicated stores with in-order D-cache retirement."""
 
-    def __init__(self, capacity: int = 16):
+    def __init__(self, capacity: int = 16, *, sink: MetricsSink = NULL_SINK):
         if capacity < 1:
             raise ValueError("store buffer capacity must be >= 1")
         self.capacity = capacity
+        self.sink = sink
         self._entries: list[tuple[int, StoreBufferEntry]] = []
         self._serial = 0
 
@@ -109,6 +111,8 @@ class PredicatedStoreBuffer:
         """
         events = StoreBufferEvents()
         values = ccr.values()
+        if self.sink.enabled:
+            self.sink.observe("storebuffer.occupancy", len(self._entries))
         for serial, entry in self._entries:
             if not entry.valid or not entry.speculative:
                 continue
@@ -142,6 +146,15 @@ class PredicatedStoreBuffer:
                 memory.store(entry.address, entry.value)
                 events.retired_stores.append((entry.address, entry.value))
             self._entries.pop(0)
+        if self.sink.enabled:
+            self.sink.count("storebuffer.commits", len(events.committed))
+            self.sink.count("storebuffer.squashes", len(events.squashed))
+            self.sink.count(
+                "storebuffer.retired_stores", len(events.retired_stores)
+            )
+            self.sink.count(
+                "storebuffer.retired_outputs", len(events.retired_outputs)
+            )
         return events
 
     # ------------------------------------------------------------------

@@ -9,6 +9,12 @@ wraps that payload in a stable envelope::
       "data": { ... }                # to_dict() output, JSON-native only
     }
 
+An artifact written with run telemetry attached (``--metrics``) carries
+an additional top-level ``metrics`` object and declares
+``repro-experiment/v2``; without telemetry the envelope stays v1, so
+default runs remain byte-identical across the schema bump.  Readers
+accept both versions.
+
 Serialization is canonical (sorted keys, two-space indent, trailing
 newline) so a parallel ``--jobs 4`` run emits byte-identical files to a
 serial one, and artifacts diff cleanly in version control.  The schema
@@ -23,6 +29,10 @@ from pathlib import Path
 
 #: Envelope identifier; bump the suffix on breaking payload changes.
 SCHEMA = "repro-experiment/v1"
+#: Envelope with the optional top-level ``metrics`` telemetry object.
+SCHEMA_V2 = "repro-experiment/v2"
+#: Every schema readers accept.
+SCHEMAS = frozenset({SCHEMA, SCHEMA_V2})
 
 
 class ArtifactError(ValueError):
@@ -54,9 +64,10 @@ def validate_artifact(document: object) -> None:
     """Raise :class:`ArtifactError` unless *document* is a valid artifact."""
     if not isinstance(document, dict):
         raise ArtifactError("artifact must be a JSON object")
-    if document.get("schema") != SCHEMA:
+    schema = document.get("schema")
+    if schema not in SCHEMAS:
         raise ArtifactError(
-            f"schema mismatch: {document.get('schema')!r} != {SCHEMA!r}"
+            f"schema mismatch: {schema!r} not in {sorted(SCHEMAS)}"
         )
     name = document.get("experiment")
     if not isinstance(name, str) or not name:
@@ -65,11 +76,27 @@ def validate_artifact(document: object) -> None:
     if not isinstance(data, dict) or not data:
         raise ArtifactError("data must be a non-empty object")
     _check_payload(data, "data")
+    metrics = document.get("metrics")
+    if schema == SCHEMA:
+        if metrics is not None:
+            raise ArtifactError("v1 artifacts must not carry metrics")
+    else:
+        if not isinstance(metrics, dict) or not metrics:
+            raise ArtifactError("v2 artifacts need a non-empty metrics object")
+        _check_payload(metrics, "metrics")
 
 
-def make_artifact(name: str, result) -> dict:
-    """Build (and validate) the artifact document for one result."""
+def make_artifact(name: str, result, metrics: dict | None = None) -> dict:
+    """Build (and validate) the artifact document for one result.
+
+    With *metrics* (run telemetry, e.g. ``RunnerStats.to_metrics()`` or a
+    ``CounterSink.to_dict()``) the envelope declares v2; without it the
+    document is exactly the v1 envelope, byte for byte.
+    """
     document = {"schema": SCHEMA, "experiment": name, "data": result.to_dict()}
+    if metrics is not None:
+        document["schema"] = SCHEMA_V2
+        document["metrics"] = metrics
     validate_artifact(document)
     return document
 
@@ -91,11 +118,13 @@ def artifact_path(target: str | Path, name: str) -> Path:
     return target / f"{name}.json"
 
 
-def write_artifact(target: str | Path, name: str, result) -> Path:
+def write_artifact(
+    target: str | Path, name: str, result, metrics: dict | None = None
+) -> Path:
     """Write *result*'s artifact under *target*; returns the file path."""
     path = artifact_path(target, name)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(dumps_artifact(make_artifact(name, result)))
+    path.write_text(dumps_artifact(make_artifact(name, result, metrics)))
     return path
 
 

@@ -833,6 +833,8 @@ class BtbAblationResult:
     """Optimistic vs finite-BTB vs fully-charged transfer penalties."""
 
     rows: list[tuple[str, float, float, float]] = field(default_factory=list)
+    # workload -> finite-BTB hit rate (hits / (hits + misses)).
+    hit_rates: dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -842,6 +844,7 @@ class BtbAblationResult:
                     "optimistic": optimistic,
                     "finite_btb": finite,
                     "all_charged": charged,
+                    "btb_hit_rate": self.hit_rates.get(name),
                 }
                 for name, optimistic, finite, charged in self.rows
             ]
@@ -850,12 +853,13 @@ class BtbAblationResult:
     def render(self) -> str:
         table_rows = [
             (name, f"{opt:.2f}", f"{finite:.2f}", f"{charged:.2f}",
-             f"{(opt / finite - 1) * 100:+.1f}%")
+             f"{(opt / finite - 1) * 100:+.1f}%",
+             f"{self.hit_rates.get(name, 0.0):.1%}")
             for name, opt, finite, charged in self.rows
         ]
         return render_table(
             ["Program", "optimistic", "64-entry BTB", "all charged",
-             "optimism vs BTB"],
+             "optimism vs BTB", "BTB hit rate"],
             table_rows,
             title=(
                 "BTB ablation: the paper's optimistic assumption vs a "
@@ -882,17 +886,33 @@ def run_btb_ablation(
     config = options.machine()
     finite = dataclasses.replace(config, btb_entries=64)
     pessimistic = dataclasses.replace(config, taken_penalty_btb=1)
-    speedups = _paired_speedups(
-        ctx,
-        [
-            ("region_pred", None, config),
-            ("region_pred", None, finite),
-            ("region_pred", None, pessimistic),
-        ],
-    )
+    variants = [
+        ("region_pred", None, config),
+        ("region_pred", None, finite),
+        ("region_pred", None, pessimistic),
+    ]
+    specs = [
+        CellSpec(
+            kind="speedup",
+            workload=workload.name,
+            model=model,
+            policy=policy,  # type: ignore[arg-type]
+            config=variant_config,
+        )
+        for workload in ctx.workloads
+        for model, policy, variant_config in variants
+    ]
+    cells = ctx.run_cells(specs)
     result = BtbAblationResult()
-    for workload, row in zip(ctx.workloads, speedups):
+    for index, workload in enumerate(ctx.workloads):
+        base = index * len(variants)
+        row = [cells[base + offset]["speedup"] for offset in range(len(variants))]
         result.rows.append((workload.name, *row))
+        finite_cell = cells[base + 1]
+        accesses = finite_cell["btb_hits"] + finite_cell["btb_misses"]
+        result.hit_rates[workload.name] = (
+            finite_cell["btb_hits"] / accesses if accesses else 1.0
+        )
     return result
 
 

@@ -44,10 +44,12 @@ from repro.isa.printer import format_program
 from repro.machine.config import MachineConfig
 from repro.machine.scalar import ScalarRun, run_scalar
 from repro.machine.vliw import VLIWMachine
+from repro.obs.metrics import NULL_SINK, MetricsSink
 from repro.workloads import Workload, all_workloads
 
 #: Bump to invalidate every cached cell (evaluator semantics changed).
-CACHE_VERSION = 1
+#: v2: speedup cells additionally carry finite-BTB hit/miss statistics.
+CACHE_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -173,11 +175,14 @@ class ExperimentContext:
         jobs: int = 1,
         cache_dir: str | Path | None = None,
         use_cache: bool = True,
+        sink: MetricsSink = NULL_SINK,
     ):
         self.workloads = workloads if workloads is not None else all_workloads()
         self._baselines: dict[str, WorkloadBaseline] = {}
+        self.sink = sink
         self.runner = CellRunner(
-            self, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache
+            self, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+            sink=sink,
         )
 
     def workload(self, name: str) -> Workload:
@@ -213,12 +218,32 @@ class ExperimentContext:
         run_machine: bool = False,
     ) -> float:
         """Speedup of *model* over the scalar baseline on *workload*."""
+        return self.measure(
+            workload, model, config, run_machine=run_machine
+        )["speedup"]
+
+    def measure(
+        self,
+        workload: Workload,
+        model: str | ModelPolicy,
+        config: MachineConfig,
+        *,
+        run_machine: bool = False,
+    ) -> dict:
+        """Speedup plus BTB statistics of *model* on *workload*.
+
+        Under the paper's optimistic infinite-BTB assumption
+        (``config.btb_entries is None``) the BTB counts are zero; with a
+        finite BTB they come from the cycle-level machine when it ran,
+        otherwise from the trace-driven analytic counter.
+        """
         baseline = self.baseline(workload)
         compiled = compile_program(
             workload.program, model, config, baseline.predictor
         )
         analytic = compiled.code.count_cycles(baseline.evaluation.trace, config)
         cycles = analytic.cycles
+        btb_hits, btb_misses = analytic.btb_hits, analytic.btb_misses
         if run_machine and compiled.vliw is not None:
             machine = VLIWMachine(compiled.vliw, config, workload.eval_memory())
             result = machine.run()
@@ -228,7 +253,14 @@ class ExperimentContext:
                     "diverged from scalar semantics"
                 )
             cycles = result.cycles
-        return baseline.evaluation.cycles / cycles
+            if machine.btb is not None:
+                btb_hits = machine.btb.hits
+                btb_misses = machine.btb.misses
+        return {
+            "speedup": baseline.evaluation.cycles / cycles,
+            "btb_hits": btb_hits,
+            "btb_misses": btb_misses,
+        }
 
     def run_cells(self, specs: list[CellSpec]) -> list[dict]:
         """Evaluate *specs* (cached, possibly in parallel), in order."""
@@ -273,14 +305,12 @@ def evaluate_cell(spec: CellSpec, ctx: ExperimentContext) -> dict:
 
     if spec.kind == "speedup":
         assert spec.config is not None
-        return {
-            "speedup": ctx.speedup(
-                workload,
-                spec.resolved_policy(),
-                spec.config,
-                run_machine=spec.run_machine,
-            )
-        }
+        return ctx.measure(
+            workload,
+            spec.resolved_policy(),
+            spec.config,
+            run_machine=spec.run_machine,
+        )
 
     if spec.kind == "compile_stats":
         assert spec.config is not None
@@ -404,6 +434,18 @@ class RunnerStats:
             )
         return "\n".join(lines)
 
+    def to_metrics(self) -> dict:
+        """JSON-native telemetry, shaped like a CounterSink export so it
+        can ride the artifact ``metrics`` section."""
+        return {
+            "counters": {
+                "runner.cells": self.total,
+                "runner.cache_hits": self.hits,
+                "runner.cache_misses": self.misses,
+            },
+            "wall_seconds": round(self.wall_seconds, 6),
+        }
+
 
 class CellRunner:
     """Evaluates cell batches against a content-keyed disk cache,
@@ -416,11 +458,13 @@ class CellRunner:
         jobs: int = 1,
         cache_dir: str | Path | None = None,
         use_cache: bool = True,
+        sink: MetricsSink = NULL_SINK,
     ):
         self.ctx = ctx
         self.jobs = max(1, jobs)
         self.cache_dir = Path(cache_dir) if cache_dir else None
         self.use_cache = use_cache and self.cache_dir is not None
+        self.sink = sink
         self.stats = RunnerStats()
 
     # -- cache ---------------------------------------------------------
@@ -498,6 +542,8 @@ class CellRunner:
             if cached is not None:
                 results[index] = cached
                 self.stats.hits += 1
+                if self.sink.enabled:
+                    self.sink.count("runner.cache_hits")
             else:
                 pending.setdefault(key, []).append(index)
 
@@ -530,6 +576,8 @@ class CellRunner:
                 order, todo, outcomes
             ):
                 self.stats.misses += len(indices)
+                if self.sink.enabled:
+                    self.sink.count("runner.cache_misses", len(indices))
                 self.stats.cell_times.append((spec.label(), seconds))
                 self._cache_store(key, spec, values)
                 for index in indices:

@@ -49,6 +49,11 @@ class VLIWProgram:
     labels: dict[str, int] = field(default_factory=dict)
     regions: list[RegionSpan] = field(default_factory=list)
     name: str = "vliw"
+    # Optional scheduler provenance: for each bundle, the original CFG
+    # block id each op was scheduled out of (parallel to ``bundles``).
+    # Hand-written programs leave it None; the code emitter fills it so
+    # the observability layer can attribute issued ops to source blocks.
+    provenance: list[tuple[int, ...]] | None = None
 
     def resolve(self, label: str) -> int:
         return self.labels[label]
@@ -84,6 +89,14 @@ class VLIWProgram:
                 target = op.target
                 if target is not None and target not in self.labels:
                     raise ValueError(f"undefined bundle target {target!r}")
+        if self.provenance is not None:
+            if len(self.provenance) != len(self.bundles):
+                raise ValueError("provenance does not cover every bundle")
+            for index, origins in enumerate(self.provenance):
+                if len(origins) != len(self.bundles[index]):
+                    raise ValueError(
+                        f"bundle {index}: provenance/op count mismatch"
+                    )
 
     def total_slots(self) -> int:
         return sum(len(bundle) for bundle in self.bundles)

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.ir.cfg import CFG
 from repro.isa.program import Program
+from repro.obs.metrics import NULL_SINK, MetricsSink
 from repro.sim.interpreter import FaultHandler, run_program
 from repro.sim.memory import Memory
 from repro.sim.trace import DynamicTrace
@@ -34,11 +35,13 @@ def run_scalar(
     *,
     fault_handler: FaultHandler | None = None,
     max_steps: int | None = None,
+    sink: MetricsSink = NULL_SINK,
 ) -> ScalarRun:
     """Execute *program* on the scalar machine; returns cycles and trace."""
     kwargs = {} if max_steps is None else {"max_steps": max_steps}
     result = run_program(
-        program, memory, cfg=cfg, fault_handler=fault_handler, **kwargs
+        program, memory, cfg=cfg, fault_handler=fault_handler, sink=sink,
+        **kwargs
     )
     assert result.trace is not None
     return ScalarRun(

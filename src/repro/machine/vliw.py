@@ -43,6 +43,7 @@ Two deliberate timing simplifications, both documented in DESIGN.md:
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -67,9 +68,19 @@ from repro.isa.semantics import (
     eval_alu,
     eval_cond,
 )
+from repro.isa.printer import format_instruction
 from repro.machine.btb import BranchTargetBuffer
 from repro.machine.config import MachineConfig
 from repro.machine.program import VLIWProgram
+from repro.obs.diagnostics import (
+    SNAPSHOT_BUNDLES,
+    IssuedBundle,
+    MachineAbort,
+    MachineSnapshot,
+    StoreBufferDeadlock,
+)
+from repro.obs.metrics import NULL_SINK, MetricsSink
+from repro.obs.trace_events import CycleTraceRecorder
 from repro.sim.memory import Memory, MemoryFault
 
 FaultHandler = Callable[[FaultRecord, "VLIWMachine"], bool]
@@ -144,6 +155,8 @@ class VLIWMachine:
         fault_handler: FaultHandler | None = None,
         max_cycles: int = DEFAULT_MAX_CYCLES,
         record_events: bool = False,
+        sink: MetricsSink = NULL_SINK,
+        tracer: CycleTraceRecorder | None = None,
     ):
         program.validate()
         self.program = program
@@ -151,13 +164,17 @@ class VLIWMachine:
         self.memory = memory if memory is not None else Memory()
         self.fault_handler = fault_handler
         self.max_cycles = max_cycles
+        self.sink = sink
+        self.tracer = tracer
 
         self.ccr = CCR(config.ccr_entries)
         self.control_path = ControlPath(self.ccr)
         self.regfile = PredicatedRegisterFile(
-            NUM_REGS, shadow_capacity=config.shadow_capacity
+            NUM_REGS, shadow_capacity=config.shadow_capacity, sink=sink
         )
-        self.store_buffer = PredicatedStoreBuffer(config.store_buffer_capacity)
+        self.store_buffer = PredicatedStoreBuffer(
+            config.store_buffer_capacity, sink=sink
+        )
         self.output: list[int] = []
 
         self.pc = 0
@@ -170,10 +187,25 @@ class VLIWMachine:
         self._in_flight: list[_InFlight] = []
         self._region_starts = program.region_starts()
         self._btb = (
-            BranchTargetBuffer(config.btb_entries)
+            BranchTargetBuffer(config.btb_entries, sink=sink)
             if config.btb_entries is not None
             else None
         )
+
+        # Observability.  ``_observing`` guards every hot-path hook so a
+        # NullSink run with no tracer pays one boolean test per site.
+        self._observing = sink.enabled or tracer is not None
+        self._last_issued: deque[tuple[int, int]] = deque(
+            maxlen=SNAPSHOT_BUNDLES
+        )
+        if self._observing:
+            self._region_of_bundle = [0] * len(program.bundles)
+            for index, span in enumerate(program.regions):
+                for bundle in range(span.start, span.end):
+                    self._region_of_bundle[bundle] = index
+            self._current_region: int | None = None
+            self._region_entry_cycle = 0
+            self._recovery_entry_cycle: int | None = None
 
         # Optional per-cycle event log (the Table 1 view).
         self.events: list[CycleEvents] = []
@@ -189,6 +221,11 @@ class VLIWMachine:
         self.speculative_ops = 0
 
         self._check_resources()
+
+    @property
+    def btb(self) -> BranchTargetBuffer | None:
+        """The finite BTB, when the config models one."""
+        return self._btb
 
     # ------------------------------------------------------------------
     # Static checks.
@@ -218,13 +255,16 @@ class VLIWMachine:
         stalls = 0
         while not halted:
             if self.cycle >= self.max_cycles:
-                raise RuntimeError(
-                    f"{self.program.name}: exceeded {self.max_cycles} cycles"
+                raise MachineAbort(
+                    f"{self.program.name}: exceeded {self.max_cycles} cycles",
+                    self.snapshot(),
                 )
             if self.pc >= len(self.program.bundles):
                 raise ScheduleViolation("ran off the end of the program")
 
             self.cycle += 1
+            if self._observing:
+                self._observe_cycle()
             if self._record_events:
                 self._cycle_events = CycleEvents(cycle=self.cycle)
                 self.events.append(self._cycle_events)
@@ -233,14 +273,20 @@ class VLIWMachine:
             bundle = self.program.bundles[self.pc]
             if self._must_stall(bundle):
                 stalls += 1
+                if self._observing:
+                    self.sink.count("machine.stall_cycles")
                 if stalls > _MAX_CONSECUTIVE_STALLS:
-                    raise ScheduleViolation("store buffer deadlock")
+                    raise StoreBufferDeadlock(
+                        "store buffer deadlock", self.snapshot()
+                    )
                 self._apply_due_writebacks(self.ccr)
                 continue
             stalls = 0
 
             halted = self._issue_and_finish(bundle)
         self._drain_at_halt()
+        if self._observing:
+            self._close_observation()
         return VLIWResult(
             output=list(self.output),
             registers=self.regfile.sequential_snapshot(),
@@ -277,12 +323,120 @@ class VLIWMachine:
         )
 
     # ------------------------------------------------------------------
+    # Observability.
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MachineSnapshot:
+        """The machine's current state, for abort diagnostics."""
+        recent = tuple(
+            IssuedBundle(
+                cycle=cycle,
+                pc=pc,
+                ops=tuple(
+                    format_instruction(op) for op in self.program.bundles[pc]
+                ),
+            )
+            for cycle, pc in self._last_issued
+        )
+        return MachineSnapshot(
+            cycle=self.cycle,
+            pc=self.pc,
+            mode=self.mode.value,
+            rpc=self.rpc,
+            epc=self.epc,
+            shadow_occupancy=self.regfile.shadow_occupancy(),
+            store_buffer_occupancy=len(self.store_buffer),
+            in_flight=len(self._in_flight),
+            last_bundles=recent,
+        )
+
+    def _region_label(self, region_index: int) -> str:
+        return self.program.regions[region_index].label
+
+    def _observe_cycle(self) -> None:
+        """Attribute the cycle just charged to the region holding PC."""
+        region_index = self._region_of_bundle[self.pc]
+        if region_index != self._current_region:
+            self._note_region_change(region_index)
+        self.sink.count("machine.cycles")
+        self.sink.count(f"region.cycles/{self._region_label(region_index)}")
+        if self.mode is MachineMode.RECOVERY:
+            self.sink.count("machine.recovery.cycles")
+
+    def _note_region_change(self, region_index: int) -> None:
+        if self.tracer is not None and self._current_region is not None:
+            self.tracer.span(
+                "region",
+                self._region_label(self._current_region),
+                self._region_entry_cycle,
+                self.cycle,
+            )
+        self._current_region = region_index
+        self._region_entry_cycle = self.cycle
+
+    def _observe_issue(self, bundle) -> None:
+        label = self._region_label(self._region_of_bundle[self.pc])
+        self.sink.count("machine.bundles")
+        self.sink.count("machine.ops.issued", len(bundle))
+        self.sink.count(f"region.bundles/{label}")
+        self.sink.count(f"region.ops/{label}", len(bundle))
+        self.sink.observe("machine.issue_slots", len(bundle))
+        provenance = self.program.provenance
+        if provenance is not None:
+            for origin in provenance[self.pc]:
+                self.sink.count(f"block.ops/B{origin}")
+
+    def _observe_op(
+        self, op: Instruction, verdict: PredValue, squashed: bool
+    ) -> None:
+        if squashed:
+            self.sink.count("machine.ops.squashed")
+        elif verdict is PredValue.UNSPEC:
+            self.sink.count("machine.ops.speculative")
+        if self.tracer is not None:
+            self.tracer.op(
+                self.cycle,
+                op.fu.value,
+                op.opcode,
+                duration=1 if squashed else op.latency,
+                args={
+                    "instr": format_instruction(op),
+                    "pred": str(op.pred),
+                    "verdict": "SQUASHED" if squashed else verdict.name,
+                    "pc": self.pc,
+                },
+            )
+
+    def _close_observation(self) -> None:
+        """Flush open tracer spans at halt."""
+        if self.tracer is None:
+            return
+        if self._current_region is not None:
+            self.tracer.span(
+                "region",
+                self._region_label(self._current_region),
+                self._region_entry_cycle,
+                self.cycle + 1,
+            )
+            self._current_region = None
+        if self._recovery_entry_cycle is not None:
+            self.tracer.span(
+                "mode",
+                "recovery",
+                self._recovery_entry_cycle,
+                self.cycle + 1,
+            )
+            self._recovery_entry_cycle = None
+
+    # ------------------------------------------------------------------
     # Issue.
     # ------------------------------------------------------------------
     def _issue_and_finish(self, bundle) -> bool:
         """Issue *bundle*, run end-of-cycle steps; returns True on halt."""
         self.bundles_issued += 1
         self.issued_ops += len(bundle)
+        self._last_issued.append((self.cycle, self.pc))
+        if self._observing:
+            self._observe_issue(bundle)
         in_recovery = self.mode is MachineMode.RECOVERY
         pending_ccr: list[tuple[int, bool]] = []
         pending_transfer: str | None = None
@@ -293,12 +447,18 @@ class VLIWMachine:
             if in_recovery and verdict is not PredValue.UNSPEC:
                 # Recovery squashes everything the current condition decides.
                 self.squashed_ops += 1
+                if self._observing:
+                    self._observe_op(op, verdict, squashed=True)
                 continue
             if verdict is PredValue.FALSE:
                 self.squashed_ops += 1
+                if self._observing:
+                    self._observe_op(op, verdict, squashed=True)
                 continue
             if verdict is PredValue.UNSPEC:
                 self.speculative_ops += 1
+            if self._observing:
+                self._observe_op(op, verdict, squashed=False)
             result = self._execute(op, verdict)
             if result is not None:
                 kind, payload = result
@@ -319,6 +479,12 @@ class VLIWMachine:
             ccr_next.set(index, value)
             if self._cycle_events is not None:
                 self._cycle_events.ccr_sets.append((index, value))
+            if self._observing:
+                self.sink.count("machine.ccr_sets")
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        self.cycle, "ccr", f"c{index}={int(value)}"
+                    )
 
         if self.mode is MachineMode.NORMAL and self._exception_commits(ccr_next):
             self._enter_recovery(ccr_next)
@@ -502,6 +668,8 @@ class VLIWMachine:
         if self.fault_handler is None or not self.fault_handler(fault, self):
             raise UnhandledFault(fault)
         self.handled_faults += 1
+        if self._observing:
+            self.sink.count("machine.faults.handled")
 
     # ------------------------------------------------------------------
     # Operand access and writeback.
@@ -603,6 +771,9 @@ class VLIWMachine:
     def _enter_recovery(self, ccr_next: CCR) -> None:
         """Suppress the CCR update and roll back to the region top."""
         self.recoveries += 1
+        if self._observing:
+            self.sink.count("machine.recovery.entries")
+            self._recovery_entry_cycle = self.cycle
         self.future_ccr = ccr_next
         self._flush_in_flight()
         self.regfile.invalidate_speculative()
@@ -613,6 +784,15 @@ class VLIWMachine:
 
     def _finish_recovery(self) -> None:
         assert self.future_ccr is not None
+        if self._observing and self._recovery_entry_cycle is not None:
+            if self.tracer is not None:
+                self.tracer.span(
+                    "mode",
+                    "recovery",
+                    self._recovery_entry_cycle,
+                    self.cycle + 1,
+                )
+            self._recovery_entry_cycle = None
         self._apply_due_writebacks(self.ccr)
         self.ccr.copy_from(self.future_ccr)
         self.future_ccr = None
@@ -634,9 +814,20 @@ class VLIWMachine:
             self.ccr.reset()
             self.rpc = destination
         if self._btb is not None and not self._btb.access(self.pc):
-            self.cycle += self.config.taken_penalty_indirect
+            penalty = self.config.taken_penalty_indirect
         else:
-            self.cycle += self.config.taken_penalty_btb
+            penalty = self.config.taken_penalty_btb
+        self.cycle += penalty
+        if self._observing and penalty:
+            # Boundary convention: transfer-penalty cycles are charged to
+            # the *departing* region (PC still points at the source here).
+            self.sink.count("machine.cycles", penalty)
+            self.sink.count("machine.transfer_penalty_cycles", penalty)
+            self.sink.count(
+                f"region.cycles/"
+                f"{self._region_label(self._region_of_bundle[self.pc])}",
+                penalty,
+            )
         self.pc = destination
 
     def _drain_at_halt(self) -> None:

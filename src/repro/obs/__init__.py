@@ -1,0 +1,46 @@
+"""Microarchitectural observability: metrics, cycle traces, attribution.
+
+The subsystem has four pieces, all near-zero-cost when unused:
+
+* :mod:`repro.obs.metrics` -- the :class:`MetricsSink` protocol with the
+  no-op :data:`NULL_SINK` default and the collecting
+  :class:`CounterSink`;
+* :mod:`repro.obs.trace_events` -- a Perfetto/Chrome ``trace_event``
+  recorder (:class:`CycleTraceRecorder`) producing one track per FU
+  class plus CCR/mode/region tracks;
+* :mod:`repro.obs.attribution` -- per-region / per-original-block cycle
+  attribution built from the keyed counter families the machine emits;
+* :mod:`repro.obs.diagnostics` -- machine-state snapshots carried on
+  abort exceptions.
+
+Counter names are part of the public surface and documented in
+DESIGN.md ("Observability").
+"""
+
+from repro.obs.attribution import (
+    AttributionReport,
+    RegionRow,
+    attribute_regions,
+)
+from repro.obs.diagnostics import (
+    MachineAbort,
+    MachineSnapshot,
+    StoreBufferDeadlock,
+)
+from repro.obs.metrics import NULL_SINK, CounterSink, MetricsSink, NullSink
+from repro.obs.trace_events import CycleTraceRecorder, validate_trace_events
+
+__all__ = [
+    "AttributionReport",
+    "CounterSink",
+    "CycleTraceRecorder",
+    "MachineAbort",
+    "MachineSnapshot",
+    "MetricsSink",
+    "NULL_SINK",
+    "NullSink",
+    "RegionRow",
+    "StoreBufferDeadlock",
+    "attribute_regions",
+    "validate_trace_events",
+]

@@ -1,0 +1,81 @@
+"""Failure diagnostics: machine-state snapshots attached to aborts.
+
+When the cycle-level machine hits a hard limit (the cycle budget, or a
+store-buffer deadlock), a bare message is useless for debugging a
+scheduler: you need to know *where* the machine was and *what* it was
+doing.  :class:`MachineSnapshot` captures the architectural position
+(cycle, PC, mode, RPC/EPC), buffer occupancies, and the last issued
+bundles; :class:`MachineAbort` and :class:`StoreBufferDeadlock` carry it
+on the exception.
+
+``StoreBufferDeadlock`` subclasses ``ScheduleViolation`` (a deadlock is
+still the compiler's fault) so existing handlers keep working, while
+``MachineAbort`` subclasses ``RuntimeError`` like the bare cycle-limit
+message it replaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import ScheduleViolation
+
+#: How many recently issued bundles a snapshot retains.
+SNAPSHOT_BUNDLES = 16
+
+
+@dataclass(frozen=True)
+class IssuedBundle:
+    """One recently issued bundle, pre-rendered for the snapshot."""
+
+    cycle: int
+    pc: int
+    ops: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class MachineSnapshot:
+    """The machine's state at the instant of an abort."""
+
+    cycle: int
+    pc: int
+    mode: str
+    rpc: int
+    epc: int | None
+    shadow_occupancy: int
+    store_buffer_occupancy: int
+    in_flight: int
+    last_bundles: tuple[IssuedBundle, ...]
+
+    def describe(self) -> str:
+        lines = [
+            f"cycle={self.cycle} pc={self.pc} mode={self.mode} "
+            f"rpc={self.rpc} epc={self.epc}",
+            f"shadow entries={self.shadow_occupancy} "
+            f"store-buffer entries={self.store_buffer_occupancy} "
+            f"in-flight results={self.in_flight}",
+        ]
+        if self.last_bundles:
+            lines.append(f"last {len(self.last_bundles)} issued bundles:")
+            for issued in self.last_bundles:
+                ops = " ; ".join(issued.ops) or "nop"
+                lines.append(
+                    f"  cycle {issued.cycle:>8} pc {issued.pc:>5}: {ops}"
+                )
+        return "\n".join(lines)
+
+
+class MachineAbort(RuntimeError):
+    """The machine gave up (cycle budget); carries the state snapshot."""
+
+    def __init__(self, message: str, snapshot: MachineSnapshot):
+        super().__init__(f"{message}\n{snapshot.describe()}")
+        self.snapshot = snapshot
+
+
+class StoreBufferDeadlock(ScheduleViolation):
+    """Retirement can never progress; carries the state snapshot."""
+
+    def __init__(self, message: str, snapshot: MachineSnapshot):
+        super().__init__(f"{message}\n{snapshot.describe()}")
+        self.snapshot = snapshot

@@ -1,0 +1,157 @@
+"""Structured cycle traces in Chrome/Perfetto ``trace_event`` format.
+
+The recorder turns the predicating machine's cycle-by-cycle activity into
+a JSON array of trace events that loads directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* one *track* (thread) per function-unit class -- ``alu``, ``branch``,
+  ``load``, ``store`` -- holding a duration event per issued operation
+  (``ts`` = issue cycle, ``dur`` = latency, 1 cycle = 1 us);
+* a ``ccr`` track of instant events, one per condition-set commit;
+* a ``mode`` track with one span per recovery-mode episode;
+* a ``region`` track with one span per region visit, so a region's
+  schedule can be inspected against the attribution table.
+
+Squashed issues are recorded with ``verdict: "FALSE"`` in their args (and
+zero-latency duration) so wasted slots are visible on the same timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Track ids, in display order.  FU tracks first, state tracks after.
+TRACKS = ("alu", "branch", "load", "store", "ccr", "mode", "region")
+
+_PID = 1  # single simulated process
+
+
+class CycleTraceRecorder:
+    """Collects trace events during one machine run."""
+
+    def __init__(self, name: str = "vliw") -> None:
+        self.name = name
+        self.events: list[dict] = []
+        self._tids: dict[str, int] = {}
+        self.events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": f"vliw-machine:{name}"},
+            }
+        )
+        for track in TRACKS:
+            self._tid(track)
+
+    def _tid(self, track: str) -> int:
+        tid = self._tids.get(track)
+        if tid is None:
+            tid = self._tids[track] = len(self._tids) + 1
+            self.events.append(
+                {
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": track},
+                }
+            )
+        return tid
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+    def op(
+        self,
+        cycle: int,
+        track: str,
+        name: str,
+        duration: int = 1,
+        args: dict | None = None,
+    ) -> None:
+        """A duration event: one issued operation on an FU track."""
+        event = {
+            "ph": "X",
+            "pid": _PID,
+            "tid": self._tid(track),
+            "name": name,
+            "ts": cycle,
+            "dur": max(duration, 1),
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def instant(
+        self, cycle: int, track: str, name: str, args: dict | None = None
+    ) -> None:
+        """An instant event (CCR condition commits)."""
+        event = {
+            "ph": "i",
+            "pid": _PID,
+            "tid": self._tid(track),
+            "name": name,
+            "ts": cycle,
+            "s": "t",  # thread-scoped instant
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def span(
+        self,
+        track: str,
+        name: str,
+        start_cycle: int,
+        end_cycle: int,
+        args: dict | None = None,
+    ) -> None:
+        """A closed interval on a state track (recovery episode, region
+        visit).  Zero-length visits still render as 1-cycle slivers."""
+        self.op(
+            start_cycle,
+            track,
+            name,
+            duration=max(end_cycle - start_cycle, 1),
+            args=args,
+        )
+
+    # ------------------------------------------------------------------
+    # Export.
+    # ------------------------------------------------------------------
+    def track_names(self) -> list[str]:
+        return list(self._tids)
+
+    def to_json(self) -> str:
+        """The bare ``trace_event`` array form Perfetto accepts."""
+        return json.dumps(self.events, indent=1) + "\n"
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+
+def validate_trace_events(document: object) -> list[str]:
+    """Check a loaded trace document; returns the declared track names.
+
+    Raises ``ValueError`` on malformed documents.  Used by tests and the
+    CI smoke job.
+    """
+    if not isinstance(document, list):
+        raise ValueError("trace must be a JSON array of events")
+    tracks = []
+    for index, event in enumerate(document):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {index} is not an object")
+        if "ph" not in event or "pid" not in event:
+            raise ValueError(f"event {index} lacks ph/pid")
+        if event["ph"] in ("X", "i") and "ts" not in event:
+            raise ValueError(f"event {index} lacks ts")
+        if event["ph"] == "M" and event.get("name") == "thread_name":
+            tracks.append(event["args"]["name"])
+    return tracks

@@ -33,6 +33,7 @@ from repro.isa.semantics import (
     eval_cond,
     effective_address,
 )
+from repro.obs.metrics import NULL_SINK, MetricsSink
 from repro.sim.memory import Memory, MemoryFault
 from repro.sim.trace import DynamicTrace
 
@@ -75,6 +76,7 @@ class Interpreter:
         cfg: CFG | None = None,
         fault_handler: FaultHandler | None = None,
         max_steps: int = DEFAULT_MAX_STEPS,
+        sink: MetricsSink = NULL_SINK,
     ):
         program.validate()
         for instruction in program.instructions:
@@ -87,6 +89,7 @@ class Interpreter:
         self.memory = memory if memory is not None else Memory()
         self.fault_handler = fault_handler
         self.max_steps = max_steps
+        self.sink = sink
         self.registers = [0] * NUM_REGS
         self.cregs = [False] * NUM_CREGS
         self.output: list[int] = []
@@ -138,8 +141,15 @@ class Interpreter:
     def _step(self, instruction: Instruction) -> None:
         self.steps += 1
         self.scalar_cycles += 1
+        observing = self.sink.enabled
+        if observing:
+            self.sink.count("scalar.instructions")
+            self.sink.count("scalar.cycles")
         if self._uses_loaded_value(instruction):
             self.scalar_cycles += 1  # load-use interlock stall
+            if observing:
+                self.sink.count("scalar.cycles")
+                self.sink.count("scalar.load_use_stalls")
         next_load_dest: int | None = None
 
         opcode = instruction.opcode
@@ -191,10 +201,15 @@ class Interpreter:
             if self.fault_handler is None or not self.fault_handler(fault, self):
                 raise UnhandledFault(fault) from error
             self.handled_faults += 1
+            if observing:
+                self.sink.count("scalar.faults.handled")
             return  # re-execute the repaired instruction; pc unchanged
 
         if taken_transfer:
             self.scalar_cycles += 1  # taken-transfer penalty
+            if observing:
+                self.sink.count("scalar.cycles")
+                self.sink.count("scalar.taken_transfers")
         self._last_load_dest = next_load_dest
         self.pc = next_pc
         if taken_transfer or self.pc in self._block_of_index:
@@ -257,6 +272,7 @@ def run_program(
     cfg: CFG | None = None,
     fault_handler: FaultHandler | None = None,
     max_steps: int = DEFAULT_MAX_STEPS,
+    sink: MetricsSink = NULL_SINK,
 ) -> InterpreterResult:
     """Convenience wrapper: construct an :class:`Interpreter` and run it."""
     interpreter = Interpreter(
@@ -265,5 +281,6 @@ def run_program(
         cfg=cfg,
         fault_handler=fault_handler,
         max_steps=max_steps,
+        sink=sink,
     )
     return interpreter.run()

@@ -1,11 +1,14 @@
 """Round-trip tests: every experiment's to_dict() survives the artifact
 schema, and the writer emits canonical, reloadable documents."""
 
+import json
+
 import pytest
 
 from repro.eval import EXPERIMENTS, ExperimentContext, ExperimentOptions
 from repro.eval.artifact import (
     SCHEMA,
+    SCHEMA_V2,
     ArtifactError,
     artifact_path,
     dumps_artifact,
@@ -109,3 +112,61 @@ class TestValidation:
         path.write_text("{nope")
         with pytest.raises(ArtifactError, match="not JSON"):
             load_artifact(path)
+
+
+class TestMetricsEnvelope:
+    """The optional v2 ``metrics`` section (runner telemetry)."""
+
+    METRICS = {"counters": {"runner.cells": 3}, "wall_seconds": 0.5}
+
+    def test_metrics_promote_schema_to_v2(self, small_ctx, small_options):
+        result = EXPERIMENTS["hwcost"](small_ctx, small_options)
+        document = make_artifact("hwcost", result, metrics=self.METRICS)
+        assert document["schema"] == SCHEMA_V2
+        assert document["metrics"] == self.METRICS
+        validate_artifact(document)
+
+    def test_no_metrics_keeps_v1_byte_identical(self, small_ctx, small_options):
+        """The v2 introduction must not change default artifacts."""
+        result = EXPERIMENTS["hwcost"](small_ctx, small_options)
+        plain = dumps_artifact(make_artifact("hwcost", result))
+        explicit_none = dumps_artifact(
+            make_artifact("hwcost", result, metrics=None)
+        )
+        assert plain == explicit_none
+        assert json.loads(plain)["schema"] == SCHEMA
+
+    def test_v1_with_metrics_rejected(self):
+        with pytest.raises(ArtifactError, match="v1"):
+            validate_artifact(
+                {
+                    "schema": SCHEMA,
+                    "experiment": "x",
+                    "data": {"a": 1},
+                    "metrics": self.METRICS,
+                }
+            )
+
+    def test_v2_without_metrics_rejected(self):
+        with pytest.raises(ArtifactError, match="metrics"):
+            validate_artifact(
+                {"schema": SCHEMA_V2, "experiment": "x", "data": {"a": 1}}
+            )
+
+    def test_v2_metrics_payload_checked(self):
+        with pytest.raises(ArtifactError, match="metrics"):
+            validate_artifact(
+                {
+                    "schema": SCHEMA_V2,
+                    "experiment": "x",
+                    "data": {"a": 1},
+                    "metrics": {"bad": float("nan")},
+                }
+            )
+
+    def test_write_and_reload_v2(self, small_ctx, small_options, tmp_path):
+        result = EXPERIMENTS["hwcost"](small_ctx, small_options)
+        path = write_artifact(tmp_path, "hwcost", result, metrics=self.METRICS)
+        reloaded = load_artifact(path)
+        assert reloaded["schema"] == SCHEMA_V2
+        assert reloaded["metrics"] == self.METRICS

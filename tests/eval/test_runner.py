@@ -197,3 +197,38 @@ class TestEvaluateCell:
         ctx = ExperimentContext()
         with pytest.raises(ValueError, match="unknown cell kind"):
             evaluate_cell(CellSpec(kind="mystery", workload="grep"), ctx)
+
+
+class TestRunnerTelemetry:
+    """ExperimentContext runner telemetry through a metrics sink."""
+
+    def test_cache_hits_and_misses_counted_into_sink(self, tmp_path):
+        from repro.obs.metrics import CounterSink
+
+        sink = CounterSink()
+        ctx = ExperimentContext(
+            [get_workload("grep")], cache_dir=tmp_path, sink=sink
+        )
+        specs = [_speedup_spec(workload="grep")]
+        ctx.run_cells(specs)
+        assert sink.counter("runner.cache_misses") == 1
+        assert sink.counter("runner.cache_hits") == 0
+        ctx.run_cells(specs)
+        assert sink.counter("runner.cache_hits") == 1
+
+    def test_stats_to_metrics_shape(self, tmp_path):
+        ctx = ExperimentContext([get_workload("grep")], cache_dir=tmp_path)
+        ctx.run_cells([_speedup_spec(workload="grep")])
+        metrics = ctx.runner.stats.to_metrics()
+        assert metrics["counters"]["runner.cells"] == 1
+        assert metrics["counters"]["runner.cache_misses"] == 1
+        assert metrics["wall_seconds"] >= 0.0
+
+    def test_speedup_cells_carry_btb_statistics(self):
+        ctx = ExperimentContext([get_workload("grep")])
+        config = dataclasses.replace(base_machine(), btb_entries=64)
+        cell = evaluate_cell(_speedup_spec(workload="grep", config=config), ctx)
+        assert cell["btb_hits"] > 0
+        assert cell["btb_misses"] > 0  # compulsory misses at least
+        optimistic = evaluate_cell(_speedup_spec(workload="grep"), ctx)
+        assert optimistic["btb_hits"] == 0 == optimistic["btb_misses"]

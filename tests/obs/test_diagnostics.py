@@ -1,0 +1,91 @@
+"""Aborts must carry a machine-state snapshot (ISSUE satellite b)."""
+
+import pytest
+
+from repro.core.exceptions import ScheduleViolation
+from repro.isa.parser import parse_instruction as P
+from repro.machine import Bundle, VLIWMachine, VLIWProgram
+from repro.machine.config import MachineConfig, base_machine
+from repro.machine.program import RegionSpan
+from repro.obs.diagnostics import (
+    SNAPSHOT_BUNDLES,
+    MachineAbort,
+    StoreBufferDeadlock,
+)
+from repro.sim.memory import Memory
+
+
+def program(bundle_specs, labels, regions):
+    return VLIWProgram(
+        bundles=[
+            Bundle(tuple(P(text) for text in spec)) for spec in bundle_specs
+        ],
+        labels=labels,
+        regions=[RegionSpan(*span) for span in regions],
+    )
+
+
+@pytest.fixture
+def spinning():
+    return program([["jmp R0"]], {"R0": 0}, [("R0", 0, 1)])
+
+
+@pytest.fixture
+def deadlocked():
+    prog = program(
+        [
+            ["li r1, 100", "li r2, 5"],
+            ["[c0] st r2, r1, 0"],  # c0 never set: head never resolves
+            ["st r2, r1, 1"],
+            ["halt"],
+        ],
+        {"R0": 0},
+        [("R0", 0, 4)],
+    )
+    return VLIWMachine(prog, MachineConfig(store_buffer_capacity=1), Memory())
+
+
+class TestMachineAbort:
+    def test_cycle_limit_carries_snapshot(self, spinning):
+        machine = VLIWMachine(spinning, base_machine(), Memory(), max_cycles=40)
+        with pytest.raises(MachineAbort) as info:
+            machine.run()
+        snapshot = info.value.snapshot
+        assert snapshot.cycle >= 40
+        assert snapshot.pc == 0
+        assert snapshot.mode == "normal"
+        assert snapshot.last_bundles  # the spin loop was captured
+        assert all(b.ops == ("jmp R0",) for b in snapshot.last_bundles)
+
+    def test_snapshot_keeps_last_n_bundles(self, spinning):
+        machine = VLIWMachine(
+            spinning, base_machine(), Memory(), max_cycles=100
+        )
+        with pytest.raises(MachineAbort) as info:
+            machine.run()
+        assert len(info.value.snapshot.last_bundles) == SNAPSHOT_BUNDLES
+
+    def test_remains_a_runtime_error_matching_exceeded(self, spinning):
+        """Compatibility: pre-snapshot callers catch RuntimeError and
+        match on 'exceeded'."""
+        machine = VLIWMachine(spinning, base_machine(), Memory(), max_cycles=10)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            machine.run()
+
+    def test_message_includes_state_description(self, spinning):
+        machine = VLIWMachine(spinning, base_machine(), Memory(), max_cycles=10)
+        with pytest.raises(MachineAbort, match="last .* issued bundles"):
+            machine.run()
+
+
+class TestStoreBufferDeadlock:
+    def test_carries_snapshot_with_buffer_occupancy(self, deadlocked):
+        with pytest.raises(StoreBufferDeadlock) as info:
+            deadlocked.run()
+        snapshot = info.value.snapshot
+        assert snapshot.store_buffer_occupancy == 1  # the stuck head
+        assert snapshot.pc == 2  # the stalled store's bundle
+
+    def test_remains_a_schedule_violation_matching_deadlock(self, deadlocked):
+        with pytest.raises(ScheduleViolation, match="deadlock"):
+            deadlocked.run()

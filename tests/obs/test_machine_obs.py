@@ -1,0 +1,211 @@
+"""Machine-level observability: counters, attribution, recovery traces.
+
+These tests drive real workloads through the compile-and-evaluate
+pipeline with a :class:`CounterSink` (and, where relevant, a
+:class:`CycleTraceRecorder`) attached, and check the ISSUE invariants:
+
+* counters agree with the machine's own ``VLIWResult`` statistics;
+* per-region cycle attribution reconciles *exactly* with the machine's
+  cycle count (transfer penalties charge the departing region);
+* a faulting speculative workload shows nonzero recovery counters and a
+  recovery span on the ``mode`` track;
+* instrumentation is observational only -- a NullSink run produces
+  byte-identical cycle counts.
+"""
+
+import json
+
+import pytest
+
+from repro.compiler import evaluate_model
+from repro.machine import VLIWMachine
+from repro.machine.config import base_machine
+from repro.obs import (
+    CounterSink,
+    CycleTraceRecorder,
+    attribute_regions,
+    validate_trace_events,
+)
+from repro.sim.memory import Memory
+from repro.workloads import get_workload
+
+from tests.machine.test_recovery import build as build_faulting
+from tests.machine.test_recovery import paging_handler
+
+
+def run_instrumented(workload_name, model="region_pred", tracer=None):
+    workload = get_workload(workload_name)
+    sink = CounterSink()
+    evaluation = evaluate_model(
+        workload.program,
+        model,
+        base_machine(),
+        train_memory=workload.train_memory(),
+        eval_memory=workload.eval_memory(),
+        sink=sink,
+        tracer=tracer,
+    )
+    assert evaluation.machine is not None
+    return evaluation, sink
+
+
+class TestCountersMatchMachineStats:
+    @pytest.mark.parametrize("model", ["region_pred", "trace_pred"])
+    def test_counters_agree_with_vliw_result(self, model):
+        evaluation, sink = run_instrumented("compress", model)
+        result = evaluation.machine
+        assert sink.counter("machine.cycles") == result.cycles
+        assert sink.counter("machine.bundles") == result.bundles_issued
+        assert sink.counter("machine.ops.squashed") == result.squashed_ops
+        assert (
+            sink.counter("machine.ops.speculative") == result.speculative_ops
+        )
+        assert (
+            sink.counter("machine.recovery.entries") == result.recoveries
+        )
+        assert sink.counter("machine.faults.handled") == result.handled_faults
+
+    def test_occupancy_histograms_sampled_every_cycle(self):
+        evaluation, sink = run_instrumented("grep")
+        cycles = evaluation.machine.cycles
+        # One sample per machine cycle (the drain tick adds a few more).
+        assert sink.histogram_summary("regfile.shadow_occupancy")["count"] >= cycles
+        assert sink.histogram_summary("storebuffer.occupancy")["count"] >= cycles
+        assert sink.histogram_summary("machine.issue_slots")["count"] == (
+            evaluation.machine.bundles_issued
+        )
+
+    def test_commit_and_squash_counters_nonzero(self):
+        _, sink = run_instrumented("compress")
+        assert sink.counter("regfile.commits") > 0
+        assert sink.counter("regfile.squashes") > 0
+        assert sink.counter("storebuffer.commits") > 0
+
+
+class TestRegionAttribution:
+    @pytest.mark.parametrize("name", ["compress", "grep", "li"])
+    def test_attribution_reconciles_exactly(self, name):
+        evaluation, sink = run_instrumented(name)
+        report = attribute_regions(sink)
+        assert report.total_cycles == evaluation.machine.cycles
+        assert report.reconciles(), (
+            f"{name}: attributed {report.attributed_cycles} "
+            f"!= total {report.total_cycles}"
+        )
+
+    def test_rows_sorted_by_cycles_and_labelled(self):
+        _, sink = run_instrumented("compress")
+        report = attribute_regions(sink)
+        cycles = [row.cycles for row in report.rows]
+        assert cycles == sorted(cycles, reverse=True)
+        for row in report.rows:
+            assert row.label.startswith("B")
+            assert row.origin_block is not None
+
+    def test_block_ops_cover_issued_ops(self):
+        evaluation, sink = run_instrumented("grep")
+        total_block_ops = sum(attribute_regions(sink).block_ops.values())
+        # Every issued op carries provenance back to an original block.
+        assert total_block_ops == sink.counter("machine.ops.issued")
+        assert total_block_ops == evaluation.machine._issued_ops
+
+    def test_render_mentions_top_region(self):
+        _, sink = run_instrumented("compress")
+        report = attribute_regions(sink)
+        text = report.render(limit=3)
+        assert "top regions by cycles" in text
+        assert report.rows[0].label in text
+
+
+class TestRecoveryObservability:
+    def test_faulting_speculation_counts_recovery(self):
+        """A committed speculative fault must surface as nonzero
+        recovery-cycle/rollback counters and a recovery-mode span."""
+        sink = CounterSink()
+        tracer = CycleTraceRecorder("faulting")
+        machine = VLIWMachine(
+            build_faulting("cgt"),
+            base_machine(),
+            Memory(mapped_only=True),
+            fault_handler=paging_handler,
+            sink=sink,
+            tracer=tracer,
+        )
+        result = machine.run()
+        assert result.recoveries == 1
+        assert sink.counter("machine.recovery.entries") == 1
+        assert sink.counter("machine.recovery.cycles") > 0
+        assert sink.counter("machine.faults.handled") == 1
+
+        spans = [
+            event
+            for event in tracer.events
+            if event.get("name") == "recovery" and event["ph"] == "X"
+        ]
+        assert len(spans) == 1
+        assert spans[0]["dur"] >= sink.counter("machine.recovery.cycles")
+
+    def test_squashed_fault_has_no_recovery_counters(self):
+        sink = CounterSink()
+        machine = VLIWMachine(
+            build_faulting("clt"),
+            base_machine(),
+            Memory(mapped_only=True),
+            fault_handler=paging_handler,
+            sink=sink,
+        )
+        machine.run()
+        assert sink.counter("machine.recovery.entries") == 0
+        assert sink.counter("machine.recovery.cycles") == 0
+
+
+class TestTraceOutput:
+    def test_workload_trace_validates_with_fu_and_state_tracks(self):
+        tracer = CycleTraceRecorder("compress")
+        run_instrumented("compress", tracer=tracer)
+        tracks = validate_trace_events(json.loads(tracer.to_json()))
+        for track in ("alu", "branch", "load", "store", "ccr", "region"):
+            assert track in tracks
+        assert len(tracks) >= 3
+
+    def test_ops_land_on_their_fu_track(self):
+        tracer = CycleTraceRecorder("grep")
+        run_instrumented("grep", tracer=tracer)
+        tids = {}
+        for event in tracer.events:
+            if event["ph"] == "M" and event["name"] == "thread_name":
+                tids[event["args"]["name"]] = event["tid"]
+        load_ops = [
+            event
+            for event in tracer.events
+            if event["ph"] == "X" and event.get("name") == "ld"
+        ]
+        assert load_ops
+        assert all(event["tid"] == tids["load"] for event in load_ops)
+
+
+class TestNullSinkNeutrality:
+    @pytest.mark.parametrize("model", ["region_pred", "trace_pred"])
+    @pytest.mark.parametrize("name", ["compress", "grep", "li"])
+    def test_cycle_counts_identical_without_instrumentation(self, name, model):
+        """The fig7 cells must be unaffected by the observability layer:
+        a default (NullSink, no tracer) run and an instrumented run
+        report identical cycles and output."""
+        workload = get_workload(name)
+        config = base_machine()
+
+        def run(**kwargs):
+            return evaluate_model(
+                workload.program,
+                model,
+                config,
+                train_memory=workload.train_memory(),
+                eval_memory=workload.eval_memory(),
+                **kwargs,
+            )
+
+        plain = run()
+        instrumented = run(sink=CounterSink(), tracer=CycleTraceRecorder())
+        assert plain.machine.cycles == instrumented.machine.cycles
+        assert plain.machine.output == instrumented.machine.output
+        assert plain.analytic.cycles == instrumented.analytic.cycles

@@ -1,0 +1,65 @@
+"""Unit tests for the metrics sinks (counters, histograms, export)."""
+
+from repro.obs.metrics import NULL_SINK, CounterSink, MetricsSink, NullSink
+
+
+class TestNullSink:
+    def test_disabled_and_inert(self):
+        assert NULL_SINK.enabled is False
+        NULL_SINK.count("machine.cycles")
+        NULL_SINK.observe("machine.issue_slots", 4)  # no-ops, no state
+
+    def test_is_the_shared_default(self):
+        assert isinstance(NULL_SINK, NullSink)
+        assert isinstance(NULL_SINK, MetricsSink)
+
+    def test_enabled_is_a_class_attribute(self):
+        # The hot-path guard relies on a plain attribute lookup.
+        assert "enabled" not in vars(NULL_SINK)
+        assert MetricsSink.enabled is False
+
+
+class TestCounterSink:
+    def test_count_accumulates(self):
+        sink = CounterSink()
+        sink.count("machine.cycles")
+        sink.count("machine.cycles", 4)
+        assert sink.counter("machine.cycles") == 5
+        assert sink.counter("absent") == 0
+        assert sink.counter("absent", default=7) == 7
+
+    def test_keyed_family_extraction(self):
+        sink = CounterSink()
+        sink.count("region.cycles/B0", 10)
+        sink.count("region.cycles/B3", 2)
+        sink.count("region.bundles/B0", 1)  # different family
+        assert sink.keyed("region.cycles") == {"B0": 10, "B3": 2}
+
+    def test_histogram_summary(self):
+        sink = CounterSink()
+        for value in (1, 2, 2, 3):
+            sink.observe("machine.issue_slots", value)
+        summary = sink.histogram_summary("machine.issue_slots")
+        assert summary["count"] == 4
+        assert summary["min"] == 1
+        assert summary["max"] == 3
+        assert summary["mean"] == 2.0
+        assert summary["values"] == {"1": 1, "2": 2, "3": 1}
+
+    def test_empty_histogram_summary(self):
+        summary = CounterSink().histogram_summary("never.observed")
+        assert summary == {
+            "count": 0, "min": 0, "max": 0, "mean": 0.0, "values": {},
+        }
+
+    def test_to_dict_is_sorted_and_json_native(self):
+        import json
+
+        sink = CounterSink()
+        sink.count("b.second")
+        sink.count("a.first", 2)
+        sink.observe("occupancy", 3)
+        exported = sink.to_dict()
+        assert list(exported["counters"]) == ["a.first", "b.second"]
+        assert "occupancy" in exported["histograms"]
+        json.dumps(exported)  # must serialize without custom encoders

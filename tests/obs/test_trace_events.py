@@ -1,0 +1,81 @@
+"""Tests for the Chrome/Perfetto trace_event recorder and validator."""
+
+import json
+
+import pytest
+
+from repro.obs.trace_events import (
+    TRACKS,
+    CycleTraceRecorder,
+    validate_trace_events,
+)
+
+
+class TestRecorder:
+    def test_pre_registers_all_tracks(self):
+        recorder = CycleTraceRecorder("demo")
+        assert recorder.track_names() == list(TRACKS)
+
+    def test_process_metadata_names_the_program(self):
+        recorder = CycleTraceRecorder("compress")
+        process = recorder.events[0]
+        assert process["ph"] == "M" and process["name"] == "process_name"
+        assert "compress" in process["args"]["name"]
+
+    def test_op_duration_event(self):
+        recorder = CycleTraceRecorder()
+        recorder.op(5, "alu", "add", duration=2, args={"pc": 3})
+        event = recorder.events[-1]
+        assert event["ph"] == "X"
+        assert event["ts"] == 5 and event["dur"] == 2
+        assert event["args"] == {"pc": 3}
+
+    def test_zero_duration_clamped_to_one(self):
+        recorder = CycleTraceRecorder()
+        recorder.op(1, "alu", "add", duration=0)
+        assert recorder.events[-1]["dur"] == 1
+
+    def test_instant_event(self):
+        recorder = CycleTraceRecorder()
+        recorder.instant(7, "ccr", "c0=1")
+        event = recorder.events[-1]
+        assert event["ph"] == "i" and event["ts"] == 7 and event["s"] == "t"
+
+    def test_span_covers_interval(self):
+        recorder = CycleTraceRecorder()
+        recorder.span("mode", "recovery", 10, 14)
+        event = recorder.events[-1]
+        assert event["ts"] == 10 and event["dur"] == 4
+
+    def test_unknown_track_auto_created(self):
+        recorder = CycleTraceRecorder()
+        recorder.op(1, "none", "nop")
+        assert "none" in recorder.track_names()
+
+    def test_to_json_is_a_bare_array(self):
+        recorder = CycleTraceRecorder()
+        recorder.op(1, "alu", "add")
+        document = json.loads(recorder.to_json())
+        assert isinstance(document, list)
+        assert validate_trace_events(document) == list(TRACKS)
+
+    def test_write_round_trip(self, tmp_path):
+        recorder = CycleTraceRecorder()
+        recorder.op(1, "load", "ld")
+        path = recorder.write(tmp_path / "sub" / "trace.json")
+        tracks = validate_trace_events(json.loads(path.read_text()))
+        assert "load" in tracks
+
+
+class TestValidator:
+    def test_rejects_non_array(self):
+        with pytest.raises(ValueError, match="array"):
+            validate_trace_events({"traceEvents": []})
+
+    def test_rejects_event_without_ph(self):
+        with pytest.raises(ValueError, match="ph"):
+            validate_trace_events([{"pid": 1}])
+
+    def test_rejects_duration_event_without_ts(self):
+        with pytest.raises(ValueError, match="ts"):
+            validate_trace_events([{"ph": "X", "pid": 1, "name": "x"}])

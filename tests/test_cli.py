@@ -4,8 +4,9 @@ import json
 
 import pytest
 
-from repro.cli import main
-from repro.eval.artifact import SCHEMA, load_artifact
+from repro.cli import PROFILE_SCHEMA, main
+from repro.eval.artifact import SCHEMA, SCHEMA_V2, load_artifact
+from repro.obs.trace_events import validate_trace_events
 
 
 class TestCli:
@@ -100,6 +101,51 @@ class TestCli:
         )
         assert "Table 2" in capsys.readouterr().out
 
+    def test_experiment_quiet_suppresses_stats(self, capsys):
+        assert main(["experiment", "hwcost", "--no-cache", "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert "gates" in captured.out
+        assert captured.err == ""
+
+    def test_experiment_json_stdout(self, capsys):
+        assert (
+            main(["experiment", "hwcost", "--no-cache", "--quiet",
+                  "--json", "-"])
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == SCHEMA
+        assert document["experiment"] == "hwcost"
+
+    def test_experiment_json_stdout_rejects_all(self, capsys):
+        code = main(["experiment", "all", "--no-cache", "--json", "-"])
+        assert code == 2
+        assert "single" in capsys.readouterr().err
+
+    def test_experiment_metrics_embeds_runner_telemetry(self, tmp_path):
+        target = tmp_path / "shadow.json"
+        assert (
+            main(["experiment", "shadow", "--no-cache", "--quiet",
+                  "--metrics", "--json", str(target)])
+            == 0
+        )
+        document = load_artifact(target)
+        assert document["schema"] == SCHEMA_V2
+        counters = document["metrics"]["counters"]
+        assert counters["runner.cells"] == counters["runner.cache_misses"]
+        assert counters["runner.cells"] > 0
+
+    def test_experiment_default_artifact_stays_v1(self, tmp_path):
+        target = tmp_path / "shadow.json"
+        assert (
+            main(["experiment", "shadow", "--no-cache", "--quiet",
+                  "--json", str(target)])
+            == 0
+        )
+        document = load_artifact(target)
+        assert document["schema"] == SCHEMA
+        assert "metrics" not in document
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
@@ -107,3 +153,61 @@ class TestCli:
     def test_unknown_model_rejected(self):
         with pytest.raises(SystemExit):
             main(["compile", "li", "--model", "warp"])
+
+
+class TestProfileCli:
+    def test_profile_prints_counters_and_attribution(self, capsys):
+        assert main(["profile", "compress"]) == 0
+        out = capsys.readouterr().out
+        assert "top regions by cycles" in out
+        assert "machine.cycles" in out
+        assert "regfile.shadow_occupancy" in out
+
+    def test_profile_predicating_alias(self, capsys):
+        assert main(["profile", "li", "--model", "predicating"]) == 0
+        assert "model         : region_pred" in capsys.readouterr().out
+
+    def test_profile_json_document(self, tmp_path, capsys):
+        target = tmp_path / "out.json"
+        assert (
+            main(["profile", "compress", "--model", "predicating",
+                  "--json", str(target)])
+            == 0
+        )
+        document = json.loads(target.read_text())
+        assert document["schema"] == PROFILE_SCHEMA
+        assert document["model"] == "region_pred"
+        counters = document["metrics"]["counters"]
+        # The documented stable counter names.
+        for name in (
+            "machine.cycles",
+            "machine.bundles",
+            "machine.ops.issued",
+            "machine.ops.squashed",
+            "regfile.commits",
+            "storebuffer.commits",
+        ):
+            assert name in counters, name
+        assert counters["machine.cycles"] == document["machine_cycles"]
+        attribution = document["attribution"]
+        assert attribution["attributed_cycles"] == attribution["total_cycles"]
+
+    def test_profile_json_stdout(self, capsys):
+        assert main(["profile", "grep", "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        payload = out[out.index("{"):]
+        assert json.loads(payload)["schema"] == PROFILE_SCHEMA
+
+    def test_profile_trace_out(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        assert main(["profile", "compress", "--trace-out", str(target)]) == 0
+        tracks = validate_trace_events(json.loads(target.read_text()))
+        assert len(tracks) >= 3
+        for track in ("alu", "ccr", "region"):
+            assert track in tracks
+
+    def test_exec_trace_out(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        assert main(["exec", "li", "--trace-out", str(target)]) == 0
+        tracks = validate_trace_events(json.loads(target.read_text()))
+        assert "alu" in tracks
