@@ -16,8 +16,17 @@ Commands:
 * ``experiment`` -- regenerate a paper table/figure (or ``all``), with
   parallel fan-out (``--jobs``), a durable result cache
   (``--cache-dir`` / ``--no-cache``), JSON artifacts (``--json``, ``-``
-  for stdout), runner telemetry in the artifact (``--metrics``), and
-  ``--quiet`` to suppress the stderr telemetry summary.
+  for stdout), runner telemetry in the artifact (``--metrics``),
+  ``--quiet`` to suppress the stderr telemetry summary, and crash
+  tolerance knobs (``--cell-timeout``, ``--retries``, ``--fail-fast``).
+* ``verify``     -- differential check: compile a workload under a
+  predicating model, run it on the cycle-level machine, and compare
+  every architectural observable against the scalar interpreter
+  (``--replay CASE.json`` re-runs a serialized fuzz finding).
+* ``fuzz``       -- seed-deterministic differential fuzzing campaigns
+  over random structured programs, region policies, machine shapes and
+  fault-raising loads; ``--shrink`` delta-debugs findings to minimal
+  repros, ``--out`` freezes them as replayable JSON cases.
 """
 
 from __future__ import annotations
@@ -43,6 +52,10 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Schema of ``repro profile --json`` documents.
 PROFILE_SCHEMA = "repro-profile/v1"
+
+#: Schemas of ``repro verify --json`` / ``repro fuzz --json`` documents.
+VERIFY_SCHEMA = "repro-verify/v1"
+FUZZ_SCHEMA = "repro-fuzz/v1"
 
 #: CLI aliases for the executable predicating models.
 _PROFILE_MODELS = {
@@ -211,6 +224,98 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _write_json(document: dict, target: str, tag: str) -> None:
+    text = json.dumps(document, sort_keys=True, indent=2) + "\n"
+    if target == "-":
+        sys.stdout.write(text)
+    else:
+        path = Path(target)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        print(f"[{tag}] {path}", file=sys.stderr)
+
+
+def cmd_verify(args) -> int:
+    from repro.verify import (
+        VERIFY_MODELS,
+        ReproCase,
+        resolve_model,
+        run_oracle,
+    )
+
+    sink = CounterSink()
+    results = []
+    if args.replay:
+        case = ReproCase.load(args.replay)
+        print(f"replaying {args.replay} ({case.name}, {case.model})")
+        results.append(case.run(sink=sink))
+    else:
+        if args.target is None:
+            print("verify needs a workload/file target or --replay CASE.json",
+                  file=sys.stderr)
+            return 2
+        # "all" covers every executable model once ("predicating" is an
+        # alias for region_pred).
+        models = (
+            list(dict.fromkeys(resolve_model(m) for m in VERIFY_MODELS))
+            if args.model == "all"
+            else [args.model]
+        )
+        program, train, memory = _load_program_and_memory(
+            args.target, args.seed
+        )
+        for model in models:
+            results.append(
+                run_oracle(
+                    program,
+                    model,
+                    base_machine(),
+                    train_memory=train.clone(),
+                    eval_memory=memory.clone(),
+                    sink=sink,
+                )
+            )
+    for result in results:
+        print(result.describe())
+    if args.json:
+        document = {
+            "schema": VERIFY_SCHEMA,
+            "results": [result.to_dict() for result in results],
+            "metrics": sink.to_dict(),
+        }
+        _write_json(document, args.json, "verify")
+    return 0 if all(result.equivalent for result in results) else 1
+
+
+def cmd_fuzz(args) -> int:
+    from repro.verify import run_fuzz
+
+    sink = CounterSink()
+
+    def progress(spec, result) -> None:
+        if args.verbose:
+            status = "ok" if result.equivalent else "DIVERGED"
+            print(f"  {spec.label()}: {status}", file=sys.stderr)
+
+    report = run_fuzz(
+        args.campaigns,
+        args.seed,
+        shrink=args.shrink,
+        out_dir=args.out,
+        sink=sink,
+        progress=progress,
+    )
+    print(report.summary())
+    if args.json:
+        document = {
+            "schema": FUZZ_SCHEMA,
+            **report.to_dict(),
+            "metrics": sink.to_dict(),
+        }
+        _write_json(document, args.json, "fuzz")
+    return 0 if not report.findings else 1
+
+
 def cmd_experiment(args) -> int:
     names = list(EXPERIMENTS) if args.name == "all" else [args.name]
     json_stdout = args.json == "-"
@@ -242,25 +347,34 @@ def cmd_experiment(args) -> int:
               file=sys.stderr)
         return 2
     ctx = ExperimentContext(
-        jobs=args.jobs, cache_dir=cache_dir, use_cache=not args.no_cache
+        jobs=args.jobs, cache_dir=cache_dir, use_cache=not args.no_cache,
+        cell_timeout=args.cell_timeout, max_retries=args.retries,
+        fail_fast=args.fail_fast,
     )
     options = ExperimentOptions()
     for name in names:
+        errors_before = len(ctx.runner.stats.errors)
         result = EXPERIMENTS[name](ctx, options)
         # Runner telemetry at artifact-write time (cumulative over the
-        # run); nondeterministic wall time, so strictly opt-in.
+        # run); nondeterministic wall time, so strictly opt-in.  Failed
+        # cells always ride the artifact as structured error entries.
         metrics = ctx.runner.stats.to_metrics() if args.metrics else None
+        errors = ctx.runner.stats.errors[errors_before:]
         if json_stdout:
-            sys.stdout.write(dumps_artifact(make_artifact(name, result, metrics)))
+            sys.stdout.write(
+                dumps_artifact(make_artifact(name, result, metrics, errors))
+            )
         else:
             print(result.render())
             print()
             if json_target is not None:
-                path = write_artifact(json_target, name, result, metrics)
+                path = write_artifact(
+                    json_target, name, result, metrics, errors
+                )
                 print(f"[artifact] {path}", file=sys.stderr)
     if not args.quiet:
         print(ctx.runner.stats.report(), file=sys.stderr)
-    return 0
+    return 0 if not ctx.runner.stats.errors else 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -384,6 +498,95 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the runner telemetry summary on stderr",
     )
+    experiment_parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-cell wall-clock budget; a cell that exceeds it is "
+            "retried in isolation and then recorded as an error entry "
+            "(default: no timeout)"
+        ),
+    )
+    experiment_parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "isolated retries (with exponential backoff) for a cell "
+            "whose worker crashed or hung (default: 2)"
+        ),
+    )
+    experiment_parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help=(
+            "raise on the first failed cell instead of recording a "
+            "structured error entry and finishing the sweep"
+        ),
+    )
+
+    verify_parser = commands.add_parser(
+        "verify",
+        help="differential check: machine run vs scalar golden model",
+    )
+    verify_parser.add_argument(
+        "target",
+        nargs="?",
+        help="workload name or assembly file (omit with --replay)",
+    )
+    verify_parser.add_argument(
+        "--model",
+        default="all",
+        choices=["all", "predicating", "region_pred", "trace_pred"],
+        help="executable model(s) to check (default: all)",
+    )
+    verify_parser.add_argument("--seed", type=int, default=2)
+    verify_parser.add_argument(
+        "--replay",
+        metavar="CASE",
+        help="re-run a serialized repro case (JSON) instead of a workload",
+    )
+    verify_parser.add_argument(
+        "--json",
+        metavar="OUT",
+        help=f"write the {VERIFY_SCHEMA} document ('-' for stdout)",
+    )
+
+    fuzz_parser = commands.add_parser(
+        "fuzz",
+        help="seed-deterministic differential fuzzing campaigns",
+    )
+    fuzz_parser.add_argument(
+        "--campaigns", type=int, default=20, metavar="N",
+        help="number of campaigns to run (default: 20)",
+    )
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign derivation seed (default: 0)",
+    )
+    fuzz_parser.add_argument(
+        "--shrink",
+        action="store_true",
+        help="delta-debug each finding to a minimal repro before saving",
+    )
+    fuzz_parser.add_argument(
+        "--out",
+        metavar="DIR",
+        help="save each finding as a replayable case-<seed>-<n>.json here",
+    )
+    fuzz_parser.add_argument(
+        "--json",
+        metavar="OUT",
+        help=f"write the {FUZZ_SCHEMA} document ('-' for stdout)",
+    )
+    fuzz_parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print one line per campaign on stderr",
+    )
     return parser
 
 
@@ -396,6 +599,8 @@ def main(argv: list[str] | None = None) -> int:
         "exec": cmd_exec,
         "profile": cmd_profile,
         "experiment": cmd_experiment,
+        "verify": cmd_verify,
+        "fuzz": cmd_fuzz,
     }
     return handlers[args.command](args)
 

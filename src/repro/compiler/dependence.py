@@ -400,6 +400,14 @@ def build_dependence(
             if dest is not None and dest in live:
                 graph.add(i, e, other.instr.latency)
                 contributes = True
+            elif dest is not None:
+                # The register file at halt is architecturally observable,
+                # and bundles past a taken transfer never issue: a register
+                # write on the exit's path may not sink below the exit even
+                # when its value is dead in the target (latency 0 -- the
+                # transfer/halt flush commits TRUE in-flight results).
+                graph.add(i, e, 0)
+                contributes = True
             if other.instr.opcode in ("st", "out"):
                 graph.add(i, e, 0)
                 contributes = True

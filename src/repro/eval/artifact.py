@@ -11,9 +11,13 @@ wraps that payload in a stable envelope::
 
 An artifact written with run telemetry attached (``--metrics``) carries
 an additional top-level ``metrics`` object and declares
-``repro-experiment/v2``; without telemetry the envelope stays v1, so
-default runs remain byte-identical across the schema bump.  Readers
-accept both versions.
+``repro-experiment/v2``; an artifact from a sweep with failed cells
+(worker crashes, timeouts -- see :mod:`repro.eval.runner`) carries their
+structured error entries in a top-level ``errors`` list, also under v2.
+Without either, the envelope stays v1, so default clean runs remain
+byte-identical across the schema bump.  Readers accept both versions.
+Non-finite floats in the payload (NaN placeholders from failed cells)
+are scrubbed to ``null`` before validation.
 
 Serialization is canonical (sorted keys, two-space indent, trailing
 newline) so a parallel ``--jobs 4`` run emits byte-identical files to a
@@ -60,6 +64,17 @@ def _check_payload(value, path: str) -> None:
     raise ArtifactError(f"{path}: non-JSON value of type {type(value).__name__}")
 
 
+def _scrub(value):
+    """Replace non-finite floats with ``null`` (JSON has no NaN)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, list):
+        return [_scrub(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _scrub(item) for key, item in value.items()}
+    return value
+
+
 def validate_artifact(document: object) -> None:
     """Raise :class:`ArtifactError` unless *document* is a valid artifact."""
     if not isinstance(document, dict):
@@ -77,26 +92,57 @@ def validate_artifact(document: object) -> None:
         raise ArtifactError("data must be a non-empty object")
     _check_payload(data, "data")
     metrics = document.get("metrics")
+    errors = document.get("errors")
     if schema == SCHEMA:
         if metrics is not None:
             raise ArtifactError("v1 artifacts must not carry metrics")
+        if errors is not None:
+            raise ArtifactError("v1 artifacts must not carry errors")
     else:
-        if not isinstance(metrics, dict) or not metrics:
-            raise ArtifactError("v2 artifacts need a non-empty metrics object")
-        _check_payload(metrics, "metrics")
+        if metrics is None and errors is None:
+            raise ArtifactError(
+                "v2 artifacts need a metrics object or an errors list"
+            )
+        if metrics is not None:
+            if not isinstance(metrics, dict) or not metrics:
+                raise ArtifactError(
+                    "v2 artifacts need a non-empty metrics object"
+                )
+            _check_payload(metrics, "metrics")
+        if errors is not None:
+            if not isinstance(errors, list) or not errors:
+                raise ArtifactError(
+                    "v2 artifacts' errors must be a non-empty list"
+                )
+            _check_payload(errors, "errors")
 
 
-def make_artifact(name: str, result, metrics: dict | None = None) -> dict:
+def make_artifact(
+    name: str,
+    result,
+    metrics: dict | None = None,
+    errors: list[dict] | None = None,
+) -> dict:
     """Build (and validate) the artifact document for one result.
 
     With *metrics* (run telemetry, e.g. ``RunnerStats.to_metrics()`` or a
-    ``CounterSink.to_dict()``) the envelope declares v2; without it the
-    document is exactly the v1 envelope, byte for byte.
+    ``CounterSink.to_dict()``) and/or *errors* (the runner's structured
+    error entries for cells that failed) the envelope declares v2;
+    without either the document is exactly the v1 envelope, byte for
+    byte.  NaN placeholders left in the payload by failed cells are
+    scrubbed to ``null``.
     """
-    document = {"schema": SCHEMA, "experiment": name, "data": result.to_dict()}
+    document = {
+        "schema": SCHEMA,
+        "experiment": name,
+        "data": _scrub(result.to_dict()),
+    }
     if metrics is not None:
         document["schema"] = SCHEMA_V2
         document["metrics"] = metrics
+    if errors:
+        document["schema"] = SCHEMA_V2
+        document["errors"] = list(errors)
     validate_artifact(document)
     return document
 
@@ -119,12 +165,18 @@ def artifact_path(target: str | Path, name: str) -> Path:
 
 
 def write_artifact(
-    target: str | Path, name: str, result, metrics: dict | None = None
+    target: str | Path,
+    name: str,
+    result,
+    metrics: dict | None = None,
+    errors: list[dict] | None = None,
 ) -> Path:
     """Write *result*'s artifact under *target*; returns the file path."""
     path = artifact_path(target, name)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(dumps_artifact(make_artifact(name, result, metrics)))
+    path.write_text(
+        dumps_artifact(make_artifact(name, result, metrics, errors))
+    )
     return path
 
 

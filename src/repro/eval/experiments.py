@@ -49,14 +49,43 @@ __all__ = [
     "ExperimentOptions",
     "WorkloadBaseline",
     "EXPERIMENTS",
+    "cell_value",
     "geomean",
 ]
 
 
 def geomean(values: list[float]) -> float:
-    if not values:
-        return 0.0
-    return math.exp(sum(math.log(v) for v in values) / len(values))
+    """Geometric mean over the finite values; NaN if none are usable.
+
+    Error cells surface as NaN through :func:`cell_value`, so a partial
+    sweep still aggregates over the cells that did complete.
+    """
+    finite = [v for v in values if isinstance(v, (int, float))
+              and math.isfinite(v) and v > 0]
+    if not finite:
+        return 0.0 if not values else math.nan
+    return math.exp(sum(math.log(v) for v in finite) / len(finite))
+
+
+def cell_value(cell: dict, key: str, default: float = math.nan):
+    """*key* from one ``run_cells`` result, tolerating error cells.
+
+    A cell the hardened runner could not evaluate comes back as a
+    structured ``{"error": ...}`` entry instead of values; drivers read
+    through this helper so a failed cell degrades to *default* (NaN,
+    scrubbed to ``null`` in artifacts) rather than a KeyError that loses
+    the rest of the sweep.
+    """
+    if "error" in cell:
+        return default
+    return cell.get(key, default)
+
+
+def _fmt(value, spec: str = ".2f") -> str:
+    """Render a possibly-missing measurement for an ASCII table."""
+    if isinstance(value, (int, float)) and math.isfinite(value):
+        return format(value, spec)
+    return "err"
 
 
 @dataclass(frozen=True)
@@ -122,7 +151,12 @@ def run_table2(
     ]
     cells = ctx.run_cells(specs)
     rows = [
-        (w.name, cell["lines"], cell["cycles"], w.description)
+        (
+            w.name,
+            cell_value(cell, "lines"),
+            cell_value(cell, "cycles"),
+            w.description,
+        )
         for w, cell in zip(ctx.workloads, cells)
     ]
     return Table2Result(rows=rows)
@@ -142,7 +176,7 @@ class Table3Result:
     def render(self) -> str:
         headers = ["#branches"] + [str(n) for n in range(1, self.max_run + 1)]
         table_rows = [
-            [name] + [f"{value:.2f}" for value in accuracies]
+            [name] + [_fmt(value) for value in accuracies]
             for name, accuracies in self.rows.items()
         ]
         return render_table(
@@ -166,7 +200,8 @@ def run_table3(
     ]
     cells = ctx.run_cells(specs)
     rows = {
-        w.name: cell["accuracy"] for w, cell in zip(ctx.workloads, cells)
+        w.name: cell_value(cell, "accuracy", [])
+        for w, cell in zip(ctx.workloads, cells)
     }
     return Table3Result(max_run=options.max_run, rows=rows)
 
@@ -202,15 +237,16 @@ class SpeedupFigure:
     def render(self) -> str:
         headers = ["Program"] + self.models
         rows = [
-            [name] + [f"{values[m]:.2f}" for m in self.models]
+            [name] + [_fmt(values[m]) for m in self.models]
             for name, values in self.per_workload.items()
         ]
         means = self.geomeans()
-        rows.append(["geomean"] + [f"{means[m]:.2f}" for m in self.models])
+        rows.append(["geomean"] + [_fmt(means[m]) for m in self.models])
         table = render_table(headers, rows, title=self.title)
         bars = render_bars(
             self.models,
-            [means[m] for m in self.models],
+            [means[m] if math.isfinite(means[m]) else 0.0
+             for m in self.models],
             title="geomean speedup over scalar",
         )
         return table + "\n\n" + bars
@@ -244,7 +280,7 @@ def _speedup_figure(
     index = 0
     for workload in ctx.workloads:
         figure.per_workload[workload.name] = {
-            model: cells[index + offset]["speedup"]
+            model: cell_value(cells[index + offset], "speedup")
             for offset, model in enumerate(models)
         }
         index += len(models)
@@ -309,7 +345,7 @@ class Fig8Result:
         headers = ["issue width"] + [f"depth {d}" for d in self.depths]
         rows = [
             [f"{width}-issue"]
-            + [f"{self.geomeans[(width, depth)]:.2f}" for depth in self.depths]
+            + [_fmt(self.geomeans[(width, depth)]) for depth in self.depths]
             for width in self.widths
         ]
         return render_table(
@@ -343,7 +379,7 @@ def run_fig8(
     index = 0
     for width, depth in grid:
         per_workload = {
-            workload.name: cells[index + offset]["speedup"]
+            workload.name: cell_value(cells[index + offset], "speedup")
             for offset, workload in enumerate(ctx.workloads)
         }
         index += len(ctx.workloads)
@@ -379,12 +415,12 @@ class CodeExpansionResult:
     def render(self) -> str:
         headers = ["Program"] + self.models
         table_rows = [
-            [name] + [f"{values[m]:.2f}" for m in self.models]
+            [name] + [_fmt(values[m]) for m in self.models]
             for name, values in self.rows.items()
         ]
         means = self.geomeans()
         table_rows.append(
-            ["geomean"] + [f"{means[m]:.2f}" for m in self.models]
+            ["geomean"] + [_fmt(means[m]) for m in self.models]
         )
         return render_table(
             headers,
@@ -424,7 +460,7 @@ def run_code_expansion(
     index = 0
     for workload in ctx.workloads:
         result.rows[workload.name] = {
-            model: cells[index + offset]["expansion"]
+            model: cell_value(cells[index + offset], "expansion")
             for offset, model in enumerate(models)
         }
         index += len(models)
@@ -465,7 +501,7 @@ class UnrollingResult:
             rows.append(
                 [f"{width}-issue/depth {depth}"]
                 + [
-                    f"{self.geomeans[(width, depth, f)]:.2f}"
+                    _fmt(self.geomeans[(width, depth, f)])
                     for f in self.factors
                 ]
             )
@@ -516,7 +552,7 @@ def run_unrolling(
     index = 0
     for width, depth, factor in grid:
         speedups = [
-            cells[index + offset]["speedup"]
+            cell_value(cells[index + offset], "speedup")
             for offset in range(len(ctx.workloads))
         ]
         index += len(ctx.workloads)
@@ -551,7 +587,7 @@ class JoinSharingResult:
 
     def render(self) -> str:
         table_rows = [
-            (name, f"{sd:.2f}", f"{ss:.2f}", f"{ed:.2f}", f"{es:.2f}")
+            (name, _fmt(sd), _fmt(ss), _fmt(ed), _fmt(es))
             for name, sd, ss, ed, es in self.rows
         ]
         return render_table(
@@ -602,10 +638,10 @@ def run_join_sharing(
         result.rows.append(
             (
                 workload.name,
-                dup["speedup"],
-                shared["speedup"],
-                dup["expansion"],
-                shared["expansion"],
+                cell_value(dup, "speedup"),
+                cell_value(shared, "speedup"),
+                cell_value(dup, "expansion"),
+                cell_value(shared, "expansion"),
             )
         )
     return result
@@ -679,7 +715,11 @@ def run_profile_sensitivity(
     for index, workload in enumerate(ctx.workloads):
         cross, self_trained = cells[2 * index], cells[2 * index + 1]
         result.rows.append(
-            (workload.name, cross["speedup"], self_trained["speedup"])
+            (
+                workload.name,
+                cell_value(cross, "speedup"),
+                cell_value(self_trained, "speedup"),
+            )
         )
     return result
 
@@ -737,11 +777,11 @@ def run_hwcost(
         ctx = ExperimentContext(workloads=[])
     (cell,) = ctx.run_cells([spec])
     report = hwcost_model.HwCostReport(
-        normal_regfile=cell["normal_regfile"],
-        shadow_storage=cell["shadow_storage"],
-        commit_hardware=cell["commit_hardware"],
-        predicate_eval_gate_delay=cell["predicate_eval_gate_delay"],
-        read_path_extra_gates=cell["read_path_extra_gates"],
+        normal_regfile=cell_value(cell, "normal_regfile"),
+        shadow_storage=cell_value(cell, "shadow_storage"),
+        commit_hardware=cell_value(cell, "commit_hardware"),
+        predicate_eval_gate_delay=cell_value(cell, "predicate_eval_gate_delay"),
+        read_path_extra_gates=cell_value(cell, "read_path_extra_gates"),
     )
     return HwCostResult(report=report)
 
@@ -799,7 +839,10 @@ def _paired_speedups(
     cells = ctx.run_cells(specs)
     stride = len(variants)
     return [
-        [cells[index * stride + offset]["speedup"] for offset in range(stride)]
+        [
+            cell_value(cells[index * stride + offset], "speedup")
+            for offset in range(stride)
+        ]
         for index in range(len(ctx.workloads))
     ]
 
@@ -906,13 +949,15 @@ def run_btb_ablation(
     result = BtbAblationResult()
     for index, workload in enumerate(ctx.workloads):
         base = index * len(variants)
-        row = [cells[base + offset]["speedup"] for offset in range(len(variants))]
+        row = [
+            cell_value(cells[base + offset], "speedup")
+            for offset in range(len(variants))
+        ]
         result.rows.append((workload.name, *row))
         finite_cell = cells[base + 1]
-        accesses = finite_cell["btb_hits"] + finite_cell["btb_misses"]
-        result.hit_rates[workload.name] = (
-            finite_cell["btb_hits"] / accesses if accesses else 1.0
-        )
+        hits = cell_value(finite_cell, "btb_hits", 0)
+        accesses = hits + cell_value(finite_cell, "btb_misses", 0)
+        result.hit_rates[workload.name] = hits / accesses if accesses else 1.0
     return result
 
 

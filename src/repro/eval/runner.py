@@ -31,6 +31,7 @@ import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -175,6 +176,10 @@ class ExperimentContext:
         jobs: int = 1,
         cache_dir: str | Path | None = None,
         use_cache: bool = True,
+        cell_timeout: float | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.1,
+        fail_fast: bool = False,
         sink: MetricsSink = NULL_SINK,
     ):
         self.workloads = workloads if workloads is not None else all_workloads()
@@ -182,6 +187,8 @@ class ExperimentContext:
         self.sink = sink
         self.runner = CellRunner(
             self, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
+            cell_timeout=cell_timeout, max_retries=max_retries,
+            retry_backoff=retry_backoff, fail_fast=fail_fast,
             sink=sink,
         )
 
@@ -272,6 +279,21 @@ class ExperimentContext:
 # ----------------------------------------------------------------------
 def evaluate_cell(spec: CellSpec, ctx: ExperimentContext) -> dict:
     """Compute one cell.  Pure: output depends only on the spec."""
+    if spec.kind == "chaos":
+        # Deliberate misbehaviour, for exercising the runner's failure
+        # paths (tests and the CI runner-timeout job).
+        mode = spec.extra("mode", "ok")
+        if mode == "ok":
+            return {"value": spec.extra("value", 1)}
+        if mode == "raise":
+            raise RuntimeError("chaos cell asked to raise")
+        if mode == "hang":
+            time.sleep(float(spec.extra("seconds", 3600.0)))
+            return {"value": "woke up"}
+        if mode == "kill":
+            os._exit(17)
+        raise ValueError(f"unknown chaos mode {mode!r}")
+
     if spec.kind == "hwcost":
         params = spec.extra("params") or hwcost_model.RegFileParams()
         report = hwcost_model.analyze(params)
@@ -400,6 +422,28 @@ def _pool_evaluate(spec: CellSpec) -> tuple[dict, float]:
 # ----------------------------------------------------------------------
 # The runner: cache + fan-out + telemetry.
 # ----------------------------------------------------------------------
+def error_entry(spec: CellSpec, error: BaseException, attempts: int) -> dict:
+    """The structured result recorded for a cell that failed for good.
+
+    Error entries flow through ``run_cells`` like values (so a partial
+    sweep still merges deterministically and the artifact survives), but
+    are never written to the cache.  Drivers read them through
+    :func:`repro.eval.experiments.cell_value`.
+    """
+    return {
+        "error": {
+            "label": spec.label(),
+            "type": type(error).__name__,
+            "message": str(error) or type(error).__name__,
+            "attempts": attempts,
+        }
+    }
+
+
+def is_error_cell(cell: dict) -> bool:
+    return isinstance(cell, dict) and "error" in cell
+
+
 @dataclass
 class RunnerStats:
     """Cache and wall-time telemetry for one runner's lifetime."""
@@ -408,6 +452,11 @@ class RunnerStats:
     misses: int = 0
     cell_times: list[tuple[str, float]] = field(default_factory=list)
     wall_seconds: float = 0.0
+    timeouts: int = 0
+    crashes: int = 0
+    retries: int = 0
+    serial_fallbacks: int = 0
+    errors: list[dict] = field(default_factory=list)  # error entries
 
     @property
     def total(self) -> int:
@@ -424,6 +473,19 @@ class RunnerStats:
             f"hit rate {self.hit_rate:.0%}); "
             f"wall {self.wall_seconds:.2f}s"
         ]
+        if self.errors or self.timeouts or self.crashes or self.retries:
+            lines.append(
+                f"failures: {len(self.errors)} cells errored "
+                f"({self.timeouts} timeouts, {self.crashes} worker crashes, "
+                f"{self.retries} retries, "
+                f"{self.serial_fallbacks} serial fallbacks)"
+            )
+            for entry in self.errors:
+                error = entry["error"]
+                lines.append(
+                    f"  {error['label']}: {error['type']}: "
+                    f"{error['message']} (after {error['attempts']} attempts)"
+                )
         if self.cell_times:
             slowest = sorted(
                 self.cell_times, key=lambda item: item[1], reverse=True
@@ -437,19 +499,44 @@ class RunnerStats:
     def to_metrics(self) -> dict:
         """JSON-native telemetry, shaped like a CounterSink export so it
         can ride the artifact ``metrics`` section."""
+        counters = {
+            "runner.cells": self.total,
+            "runner.cache_hits": self.hits,
+            "runner.cache_misses": self.misses,
+        }
+        # Failure-path counters appear only when something failed, so a
+        # clean run's telemetry is unchanged by the hardening.
+        if self.errors:
+            counters["runner.failed_cells"] = len(self.errors)
+        if self.timeouts:
+            counters["runner.cell_timeouts"] = self.timeouts
+        if self.crashes:
+            counters["runner.worker_crashes"] = self.crashes
+        if self.retries:
+            counters["runner.retries"] = self.retries
+        if self.serial_fallbacks:
+            counters["runner.serial_fallbacks"] = self.serial_fallbacks
         return {
-            "counters": {
-                "runner.cells": self.total,
-                "runner.cache_hits": self.hits,
-                "runner.cache_misses": self.misses,
-            },
+            "counters": counters,
             "wall_seconds": round(self.wall_seconds, 6),
         }
 
 
 class CellRunner:
     """Evaluates cell batches against a content-keyed disk cache,
-    fanning cache misses out over a process pool when ``jobs > 1``."""
+    fanning cache misses out over a process pool when ``jobs > 1``.
+
+    Crash tolerance: each pooled cell is one future, collected with an
+    optional per-cell *cell_timeout*.  A cell that hangs or takes its
+    worker down (the pool breaks) is retried up to *max_retries* times in
+    an isolated single-worker pool with exponential backoff starting at
+    *retry_backoff* seconds; if pools cannot be created at all, the cell
+    falls back to serial in-process evaluation.  A cell that still fails
+    becomes a structured :func:`error_entry` in the results (never
+    cached), so one bad cell costs one cell, not the sweep.  With
+    *fail_fast* the first failure raises instead -- the pre-hardening
+    behaviour.
+    """
 
     def __init__(
         self,
@@ -458,12 +545,20 @@ class CellRunner:
         jobs: int = 1,
         cache_dir: str | Path | None = None,
         use_cache: bool = True,
+        cell_timeout: float | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.1,
+        fail_fast: bool = False,
         sink: MetricsSink = NULL_SINK,
     ):
         self.ctx = ctx
         self.jobs = max(1, jobs)
         self.cache_dir = Path(cache_dir) if cache_dir else None
         self.use_cache = use_cache and self.cache_dir is not None
+        self.cell_timeout = cell_timeout
+        self.max_retries = max(0, max_retries)
+        self.retry_backoff = retry_backoff
+        self.fail_fast = fail_fast
         self.sink = sink
         self.stats = RunnerStats()
 
@@ -550,39 +645,174 @@ class CellRunner:
         if pending:
             order = list(pending.items())  # deterministic batch order
             todo = [specs[indices[0]] for _, indices in order]
-            if self._can_pool(todo):
-                # Pre-warm every needed baseline in the parent: workers
-                # started by fork inherit the scalar runs copy-on-write
-                # instead of re-interpreting each workload per process.
-                for spec in todo:
-                    if spec.workload is not None:
-                        self.ctx.baseline(self.ctx.workload(spec.workload))
-                _set_worker_ctx(self.ctx)
-                try:
-                    chunk = max(1, len(todo) // (self.jobs * 4))
-                    with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                        outcomes = list(
-                            pool.map(_pool_evaluate, todo, chunksize=chunk)
-                        )
-                finally:
-                    _set_worker_ctx(None)
-            else:
-                outcomes = []
-                for spec in todo:
-                    start = time.perf_counter()
-                    values = evaluate_cell(spec, self.ctx)
-                    outcomes.append((values, time.perf_counter() - start))
-            for (key, indices), spec, (values, seconds) in zip(
-                order, todo, outcomes
-            ):
+            outcomes = self._evaluate_misses(todo)
+            for (key, indices), spec, outcome in zip(order, todo, outcomes):
                 self.stats.misses += len(indices)
                 if self.sink.enabled:
                     self.sink.count("runner.cache_misses", len(indices))
-                self.stats.cell_times.append((spec.label(), seconds))
-                self._cache_store(key, spec, values)
+                if is_error_cell(outcome):
+                    # A failed cell rides the results as a structured
+                    # error entry; never cached, so a re-run retries it.
+                    self.stats.errors.append(outcome)
+                    if self.sink.enabled:
+                        self.sink.count("runner.failed_cells")
+                    values = outcome
+                else:
+                    values, seconds = outcome
+                    self.stats.cell_times.append((spec.label(), seconds))
+                    self._cache_store(key, spec, values)
                 for index in indices:
                     results[index] = values
 
         self.stats.wall_seconds += time.perf_counter() - started
         assert all(value is not None for value in results)
         return results  # type: ignore[return-value]
+
+    def _evaluate_misses(self, todo: list[CellSpec]) -> list:
+        """Evaluate cache misses; one outcome per spec, in spec order.
+
+        An outcome is either ``(values, seconds)`` or an error entry.
+        """
+        if not self._can_pool(todo):
+            return [self._in_process(spec) for spec in todo]
+        # Pre-warm every needed baseline in the parent: workers started
+        # by fork inherit the scalar runs copy-on-write instead of
+        # re-interpreting each workload per process.
+        for spec in todo:
+            if spec.workload is not None:
+                self.ctx.baseline(self.ctx.workload(spec.workload))
+        _set_worker_ctx(self.ctx)
+        try:
+            return self._pooled(todo)
+        finally:
+            _set_worker_ctx(None)
+
+    def _in_process(self, spec: CellSpec):
+        """Serial evaluation; the last-resort path has no hang/crash
+        protection but still degrades exceptions into error entries."""
+        start = time.perf_counter()
+        try:
+            values = evaluate_cell(spec, self.ctx)
+        except Exception as error:
+            if self.fail_fast:
+                raise
+            return error_entry(spec, error, attempts=1)
+        return values, time.perf_counter() - start
+
+    def _pooled(self, todo: list[CellSpec]) -> list:
+        try:
+            pool = ProcessPoolExecutor(max_workers=self.jobs)
+            futures = [pool.submit(_pool_evaluate, spec) for spec in todo]
+        except Exception:
+            # Cannot create a pool at all (e.g. no usable start method):
+            # fall back to serial in-process evaluation.
+            self.stats.serial_fallbacks += 1
+            if self.sink.enabled:
+                self.sink.count("runner.serial_fallbacks")
+            return [self._in_process(spec) for spec in todo]
+
+        outcomes: list = [None] * len(todo)
+        needs_isolation: list[int] = []
+        hung = False
+        broken = False
+        for index, future in enumerate(futures):
+            if broken and not future.done():
+                needs_isolation.append(index)
+                continue
+            try:
+                outcomes[index] = future.result(timeout=self.cell_timeout)
+            except TimeoutError:
+                # The worker is hung on this cell; healthy workers keep
+                # draining the queue, so keep collecting and terminate
+                # the stragglers at the end.
+                self.stats.timeouts += 1
+                if self.sink.enabled:
+                    self.sink.count("runner.cell_timeouts")
+                if self.fail_fast:
+                    self._terminate(pool)
+                    raise
+                needs_isolation.append(index)
+                hung = True
+            except BrokenProcessPool:
+                # A worker died; the executor fails every outstanding
+                # future, so everything not yet collected retries
+                # isolated.
+                if not broken:
+                    self.stats.crashes += 1
+                    if self.sink.enabled:
+                        self.sink.count("runner.worker_crashes")
+                broken = True
+                if self.fail_fast:
+                    self._terminate(pool)
+                    raise
+                needs_isolation.append(index)
+            except Exception as error:
+                # The cell itself raised: deterministic, not worth
+                # retrying.
+                if self.fail_fast:
+                    self._terminate(pool)
+                    raise
+                outcomes[index] = error_entry(todo[index], error, 1)
+        if hung or broken:
+            self._terminate(pool)
+        else:
+            pool.shutdown(wait=True)
+
+        for index in needs_isolation:
+            outcomes[index] = self._isolated(todo[index])
+        return outcomes
+
+    def _isolated(self, spec: CellSpec):
+        """Retry one suspect cell in its own single-worker pool."""
+        last_error: BaseException = RuntimeError("cell never ran")
+        attempts = 0
+        delay = self.retry_backoff
+        while attempts <= self.max_retries:
+            if attempts > 0:
+                self.stats.retries += 1
+                if self.sink.enabled:
+                    self.sink.count("runner.retries")
+                time.sleep(delay)
+                delay *= 2
+            attempts += 1
+            try:
+                pool = ProcessPoolExecutor(max_workers=1)
+            except Exception:
+                self.stats.serial_fallbacks += 1
+                if self.sink.enabled:
+                    self.sink.count("runner.serial_fallbacks")
+                return self._in_process(spec)
+            try:
+                outcome = pool.submit(_pool_evaluate, spec).result(
+                    timeout=self.cell_timeout
+                )
+                pool.shutdown(wait=True)
+                return outcome
+            except TimeoutError as error:
+                self.stats.timeouts += 1
+                if self.sink.enabled:
+                    self.sink.count("runner.cell_timeouts")
+                last_error = error
+                self._terminate(pool)
+            except BrokenProcessPool as error:
+                self.stats.crashes += 1
+                if self.sink.enabled:
+                    self.sink.count("runner.worker_crashes")
+                last_error = error
+                self._terminate(pool)
+            except Exception as error:
+                self._terminate(pool)
+                if self.fail_fast:
+                    raise
+                return error_entry(spec, error, attempts)
+        if self.fail_fast:
+            raise last_error
+        return error_entry(spec, last_error, attempts)
+
+    @staticmethod
+    def _terminate(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down even when a worker is hung or dead."""
+        for process in list(pool._processes.values()):
+            if process.is_alive():
+                process.terminate()
+        pool.shutdown(wait=True, cancel_futures=True)

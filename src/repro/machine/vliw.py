@@ -77,6 +77,7 @@ from repro.obs.diagnostics import (
     IssuedBundle,
     MachineAbort,
     MachineSnapshot,
+    ProgramOverrun,
     StoreBufferDeadlock,
 )
 from repro.obs.metrics import NULL_SINK, MetricsSink
@@ -260,7 +261,9 @@ class VLIWMachine:
                     self.snapshot(),
                 )
             if self.pc >= len(self.program.bundles):
-                raise ScheduleViolation("ran off the end of the program")
+                raise ProgramOverrun(
+                    "ran off the end of the program", self.snapshot()
+                )
 
             self.cycle += 1
             if self._observing:

@@ -23,8 +23,10 @@ from repro.obs.attribution import (
     attribute_regions,
 )
 from repro.obs.diagnostics import (
+    InterpreterSnapshot,
     MachineAbort,
     MachineSnapshot,
+    ProgramOverrun,
     StoreBufferDeadlock,
 )
 from repro.obs.metrics import NULL_SINK, CounterSink, MetricsSink, NullSink
@@ -34,11 +36,13 @@ __all__ = [
     "AttributionReport",
     "CounterSink",
     "CycleTraceRecorder",
+    "InterpreterSnapshot",
     "MachineAbort",
     "MachineSnapshot",
     "MetricsSink",
     "NULL_SINK",
     "NullSink",
+    "ProgramOverrun",
     "RegionRow",
     "StoreBufferDeadlock",
     "attribute_regions",

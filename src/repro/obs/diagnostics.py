@@ -1,17 +1,20 @@
 """Failure diagnostics: machine-state snapshots attached to aborts.
 
-When the cycle-level machine hits a hard limit (the cycle budget, or a
-store-buffer deadlock), a bare message is useless for debugging a
-scheduler: you need to know *where* the machine was and *what* it was
-doing.  :class:`MachineSnapshot` captures the architectural position
-(cycle, PC, mode, RPC/EPC), buffer occupancies, and the last issued
-bundles; :class:`MachineAbort` and :class:`StoreBufferDeadlock` carry it
-on the exception.
+When the cycle-level machine hits a hard limit (the cycle budget, a
+store-buffer deadlock, or issue running off the end of the program), a
+bare message is useless for debugging a scheduler: you need to know
+*where* the machine was and *what* it was doing.
+:class:`MachineSnapshot` captures the architectural position (cycle, PC,
+mode, RPC/EPC), buffer occupancies, and the last issued bundles;
+:class:`MachineAbort`, :class:`StoreBufferDeadlock` and
+:class:`ProgramOverrun` carry it on the exception.
+:class:`InterpreterSnapshot` is the scalar-side analogue, carried by
+``StepLimitExceeded`` when the interpreter blows its step budget.
 
-``StoreBufferDeadlock`` subclasses ``ScheduleViolation`` (a deadlock is
-still the compiler's fault) so existing handlers keep working, while
-``MachineAbort`` subclasses ``RuntimeError`` like the bare cycle-limit
-message it replaces.
+``StoreBufferDeadlock`` and ``ProgramOverrun`` subclass
+``ScheduleViolation`` (both are the compiler's fault) so existing
+handlers keep working, while ``MachineAbort`` subclasses
+``RuntimeError`` like the bare cycle-limit message it replaces.
 """
 
 from __future__ import annotations
@@ -79,3 +82,32 @@ class StoreBufferDeadlock(ScheduleViolation):
     def __init__(self, message: str, snapshot: MachineSnapshot):
         super().__init__(f"{message}\n{snapshot.describe()}")
         self.snapshot = snapshot
+
+
+class ProgramOverrun(ScheduleViolation):
+    """Issue ran past the last bundle without a halt; carries the
+    snapshot (a scheduler that drops the halt or mis-links a transfer)."""
+
+    def __init__(self, message: str, snapshot: MachineSnapshot):
+        super().__init__(f"{message}\n{snapshot.describe()}")
+        self.snapshot = snapshot
+
+
+@dataclass(frozen=True)
+class InterpreterSnapshot:
+    """The scalar interpreter's state when it blew its step budget."""
+
+    pc: int
+    steps: int
+    scalar_cycles: int
+    recent_blocks: tuple[int, ...]  # last distinct CFG blocks entered
+
+    def describe(self) -> str:
+        lines = [
+            f"pc={self.pc} steps={self.steps} "
+            f"scalar_cycles={self.scalar_cycles}"
+        ]
+        if self.recent_blocks:
+            path = " -> ".join(f"B{block}" for block in self.recent_blocks)
+            lines.append(f"last blocks entered: {path}")
+        return "\n".join(lines)

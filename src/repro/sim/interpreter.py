@@ -19,6 +19,7 @@ faulting program remain comparable.
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass
 
@@ -33,6 +34,7 @@ from repro.isa.semantics import (
     eval_cond,
     effective_address,
 )
+from repro.obs.diagnostics import InterpreterSnapshot
 from repro.obs.metrics import NULL_SINK, MetricsSink
 from repro.sim.memory import Memory, MemoryFault
 from repro.sim.trace import DynamicTrace
@@ -41,9 +43,30 @@ FaultHandler = Callable[[FaultRecord, "Interpreter"], bool]
 
 DEFAULT_MAX_STEPS = 20_000_000
 
+#: CFG blocks the interpreter remembers for the livelock snapshot.
+RECENT_BLOCKS = 8
+
 
 class StepLimitExceeded(RuntimeError):
-    """The program ran past the configured step budget (likely livelock)."""
+    """The program ran past the configured step budget (likely livelock).
+
+    Carries a :class:`~repro.obs.diagnostics.InterpreterSnapshot`
+    (where the interpreter was spinning) and the partial
+    :class:`InterpreterResult` accumulated so far, so a livelocked fuzz
+    case or workload is debuggable from the exception alone.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        snapshot: InterpreterSnapshot | None = None,
+        partial: "InterpreterResult | None" = None,
+    ):
+        if snapshot is not None:
+            message = f"{message}\n{snapshot.describe()}"
+        super().__init__(message)
+        self.snapshot = snapshot
+        self.partial = partial
 
 
 @dataclass
@@ -98,6 +121,7 @@ class Interpreter:
         self.scalar_cycles = 0
         self.handled_faults = 0
         self._last_load_dest: int | None = None
+        self._recent_blocks: deque[int] = deque(maxlen=RECENT_BLOCKS)
 
         self.trace: DynamicTrace | None = None
         self._block_of_index: dict[int, int] = {}
@@ -127,7 +151,9 @@ class Interpreter:
         while self.pc < program_length:
             if self.steps >= self.max_steps:
                 raise StepLimitExceeded(
-                    f"{self.program.name}: exceeded {self.max_steps} steps"
+                    f"{self.program.name}: exceeded {self.max_steps} steps",
+                    snapshot=self.snapshot(),
+                    partial=self._result(halted=False),
                 )
             instruction = self.program.instructions[self.pc]
             if instruction.opcode == "halt":
@@ -225,8 +251,11 @@ class Interpreter:
     # Trace bookkeeping.
     # ------------------------------------------------------------------
     def _note_block_entry(self, index: int) -> None:
-        if self.trace is not None and index in self._block_of_index:
-            self.trace.record_block(self._block_of_index[index])
+        if index in self._block_of_index:
+            block = self._block_of_index[index]
+            self._recent_blocks.append(block)
+            if self.trace is not None:
+                self.trace.record_block(block)
 
     def _current_block_start(self) -> int:
         """Start index of the block containing the current pc."""
@@ -234,6 +263,15 @@ class Interpreter:
         while index not in self._block_of_index and index > 0:
             index -= 1
         return index
+
+    def snapshot(self) -> InterpreterSnapshot:
+        """Where the interpreter is right now (block path needs a CFG)."""
+        return InterpreterSnapshot(
+            pc=self.pc,
+            steps=self.steps,
+            scalar_cycles=self.scalar_cycles,
+            recent_blocks=tuple(self._recent_blocks),
+        )
 
     def _result(self, halted: bool) -> InterpreterResult:
         if self.trace is not None:

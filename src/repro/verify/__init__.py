@@ -1,0 +1,46 @@
+"""Differential verification: oracle, fuzzing, shrinking, fault injection.
+
+The paper's claim is architectural *equivalence*: the predicating VLIW
+machine, whatever mixture of speculation, squashing and recovery it goes
+through, must end in exactly the state sequential execution reaches.
+This package enforces that claim systematically:
+
+* :mod:`repro.verify.oracle` -- lockstep differential checker against the
+  scalar interpreter golden model;
+* :mod:`repro.verify.fuzz` -- seed-deterministic random-program campaigns
+  through the oracle;
+* :mod:`repro.verify.shrink` -- delta-debugging minimizer producing
+  replayable JSON repro cases;
+* :mod:`repro.verify.faults` -- fault-injection campaigns corrupting
+  buffered speculative state mid-run.
+"""
+
+from repro.verify.case import CASE_SCHEMA, ReproCase
+from repro.verify.faults import FaultCampaignReport, run_fault_campaign
+from repro.verify.fuzz import FuzzReport, run_fuzz
+from repro.verify.oracle import (
+    VERIFY_MODELS,
+    DivergenceReport,
+    DivergenceSite,
+    OracleResult,
+    resolve_model,
+    run_oracle,
+)
+from repro.verify.shrink import ShrinkResult, shrink_case
+
+__all__ = [
+    "CASE_SCHEMA",
+    "DivergenceReport",
+    "DivergenceSite",
+    "FaultCampaignReport",
+    "FuzzReport",
+    "OracleResult",
+    "ReproCase",
+    "ShrinkResult",
+    "VERIFY_MODELS",
+    "resolve_model",
+    "run_fault_campaign",
+    "run_fuzz",
+    "run_oracle",
+    "shrink_case",
+]

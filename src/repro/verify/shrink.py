@@ -1,0 +1,149 @@
+"""Delta-debugging minimizer for divergent repro cases.
+
+Given a :class:`~repro.verify.case.ReproCase` whose oracle run diverges,
+``shrink_case`` greedily removes chunks of program lines (halving chunk
+sizes, ddmin-style) while the *same category* of divergence still
+reproduces.  Candidates that fail to parse, fail validation, stop
+diverging, or diverge differently are rejected; livelocked candidates are
+cut off by tight step/cycle budgets and rejected too.  The result is a
+minimal case serializable to JSON and replayable via
+``repro verify --replay CASE.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.obs.metrics import NULL_SINK, MetricsSink
+from repro.verify.case import ReproCase
+
+#: Execution budgets for candidate runs: a shrunk synthetic program is
+#: tiny, so anything still running after this is a livelock, not a repro.
+SHRINK_MAX_STEPS = 200_000
+SHRINK_MAX_CYCLES = 2_000_000
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized case plus how the search went."""
+
+    case: ReproCase
+    category: str
+    attempts: int
+    accepted: int
+    original_instructions: int
+    shrunk_instructions: int
+
+    def describe(self) -> str:
+        return (
+            f"shrunk {self.original_instructions} -> "
+            f"{self.shrunk_instructions} instructions "
+            f"({self.attempts} candidates, {self.accepted} accepted, "
+            f"category {self.category})"
+        )
+
+
+def _reproduces(
+    case: ReproCase,
+    category: str,
+    machine_factory,
+    sink: MetricsSink,
+) -> bool:
+    """Does *case* still produce a *category* divergence?"""
+    try:
+        result = case.run(
+            machine_factory=machine_factory,
+            max_steps=SHRINK_MAX_STEPS,
+            max_cycles=SHRINK_MAX_CYCLES,
+            sink=sink,
+        )
+    except Exception:
+        # Unparseable/invalid/degenerate candidate (e.g. an unhandled
+        # fault during the training run): not a reproduction.
+        return False
+    return result.report is not None and result.report.category == category
+
+
+def shrink_case(
+    case: ReproCase,
+    *,
+    machine_factory=None,
+    category: str | None = None,
+    max_attempts: int = 2_000,
+    sink: MetricsSink = NULL_SINK,
+) -> ShrinkResult:
+    """Minimize *case* while its divergence keeps reproducing.
+
+    *category* pins the divergence class to preserve (defaults to the
+    category the unshrunk case produces).  *machine_factory* must match
+    whatever produced the original divergence (e.g. a deliberately broken
+    machine subclass under test).
+    """
+    if category is None:
+        initial = case.run(
+            machine_factory=machine_factory,
+            max_steps=SHRINK_MAX_STEPS,
+            max_cycles=SHRINK_MAX_CYCLES,
+            sink=sink,
+        )
+        if initial.report is None:
+            raise ValueError(
+                f"{case.name}: case does not diverge; nothing to shrink"
+            )
+        category = initial.report.category
+
+    original_instructions = case.instruction_count()
+    lines = case.program_text.splitlines()
+    attempts = 0
+    accepted = 0
+
+    def candidate(kept: list[str]) -> ReproCase:
+        return dataclasses.replace(
+            case, program_text="\n".join(kept) + "\n"
+        )
+
+    chunk = max(1, len(lines) // 2)
+    while chunk >= 1 and attempts < max_attempts:
+        removed_any = False
+        start = 0
+        while start < len(lines) and attempts < max_attempts:
+            kept = lines[:start] + lines[start + chunk:]
+            if not kept:
+                start += chunk
+                continue
+            attempts += 1
+            if sink.enabled:
+                sink.count("shrink.candidates")
+            if _reproduces(candidate(kept), category, machine_factory, sink):
+                lines = kept
+                removed_any = True
+                accepted += 1
+                if sink.enabled:
+                    sink.count("shrink.accepted")
+                # Retry the same offset: the next chunk slid into place.
+            else:
+                start += chunk
+        if not removed_any:
+            chunk //= 2
+        elif chunk > len(lines):
+            chunk = max(1, len(lines) // 2)
+
+    shrunk = candidate(lines)
+    shrunk.metadata = dict(case.metadata)
+    shrunk.metadata.update(
+        {
+            "shrunk": True,
+            "shrink_category": category,
+            "shrink_attempts": attempts,
+            "original_instructions": original_instructions,
+        }
+    )
+    return ShrinkResult(
+        case=shrunk,
+        category=category,
+        attempts=attempts,
+        accepted=accepted,
+        original_instructions=original_instructions,
+        shrunk_instructions=shrunk.instruction_count(),
+    )

@@ -204,3 +204,29 @@ def generate(
         seed=seed,
         predictability=predictability,
     )
+
+
+def paged_image(
+    synthetic: SyntheticProgram, unmap_fraction: float, seed: int
+) -> tuple[Memory, dict[int, int]]:
+    """The synthetic image as demand-paged memory with random holes.
+
+    Returns ``(resident, backing)``: *resident* is a ``mapped_only``
+    memory missing roughly ``unmap_fraction`` of the data words, and
+    *backing* holds every word, for a pager to map in on fault.  Running
+    a synthetic program over *resident* turns its (speculatively hoisted)
+    loads into fault-raising loads -- the input the recovery-path
+    property tests and the differential fuzzer share.
+    """
+    if not 0.0 <= unmap_fraction <= 1.0:
+        raise ValueError("unmap_fraction must be in [0, 1]")
+    backing: dict[int, int] = {}
+    for base, values in synthetic.memory_image.items():
+        for offset, value in enumerate(values):
+            backing[base + offset] = value
+    rng = random.Random(seed)
+    resident = Memory(mapped_only=True)
+    for address, value in backing.items():
+        if rng.random() >= unmap_fraction:
+            resident.map(address, value)
+    return resident, backing

@@ -170,3 +170,79 @@ class TestMetricsEnvelope:
         reloaded = load_artifact(path)
         assert reloaded["schema"] == SCHEMA_V2
         assert reloaded["metrics"] == self.METRICS
+
+
+class TestErrorsEnvelope:
+    """The optional v2 ``errors`` section (failed cells of a sweep)."""
+
+    ERRORS = [
+        {
+            "error": {
+                "label": "speedup/grep/region_pred",
+                "type": "BrokenProcessPool",
+                "message": "worker died",
+                "attempts": 3,
+            }
+        }
+    ]
+
+    def _result(self, small_ctx, small_options):
+        return EXPERIMENTS["hwcost"](small_ctx, small_options)
+
+    def test_errors_promote_schema_to_v2(self, small_ctx, small_options):
+        document = make_artifact(
+            "hwcost", self._result(small_ctx, small_options),
+            errors=self.ERRORS,
+        )
+        assert document["schema"] == SCHEMA_V2
+        assert document["errors"] == self.ERRORS
+        validate_artifact(document)
+
+    def test_empty_errors_list_keeps_v1(self, small_ctx, small_options):
+        result = self._result(small_ctx, small_options)
+        document = make_artifact("hwcost", result, errors=[])
+        assert document["schema"] == SCHEMA
+        assert "errors" not in document
+
+    def test_v1_with_errors_rejected(self):
+        with pytest.raises(ArtifactError, match="v1"):
+            validate_artifact(
+                {
+                    "schema": SCHEMA,
+                    "experiment": "x",
+                    "data": {"a": 1},
+                    "errors": self.ERRORS,
+                }
+            )
+
+    def test_v2_empty_errors_rejected(self):
+        with pytest.raises(ArtifactError, match="errors"):
+            validate_artifact(
+                {
+                    "schema": SCHEMA_V2,
+                    "experiment": "x",
+                    "data": {"a": 1},
+                    "errors": [],
+                }
+            )
+
+    def test_nan_payload_scrubbed_to_null(self, small_ctx, small_options):
+        """Failed cells leave NaN placeholders; the artifact writer must
+        turn them into null rather than fail validation."""
+
+        class _Result:
+            def to_dict(self):
+                return {"geomeans": {"region_pred": float("nan")}}
+
+        document = make_artifact("fig7", _Result(), errors=self.ERRORS)
+        assert document["data"]["geomeans"]["region_pred"] is None
+        validate_artifact(document)
+
+    def test_write_and_reload_with_errors(
+        self, small_ctx, small_options, tmp_path
+    ):
+        result = self._result(small_ctx, small_options)
+        path = write_artifact(tmp_path, "hwcost", result, errors=self.ERRORS)
+        reloaded = load_artifact(path)
+        assert reloaded["schema"] == SCHEMA_V2
+        assert reloaded["errors"] == self.ERRORS

@@ -9,7 +9,9 @@ from repro.machine.config import MachineConfig, base_machine
 from repro.machine.program import RegionSpan
 from repro.obs.diagnostics import (
     SNAPSHOT_BUNDLES,
+    InterpreterSnapshot,
     MachineAbort,
+    ProgramOverrun,
     StoreBufferDeadlock,
 )
 from repro.sim.memory import Memory
@@ -89,3 +91,44 @@ class TestStoreBufferDeadlock:
     def test_remains_a_schedule_violation_matching_deadlock(self, deadlocked):
         with pytest.raises(ScheduleViolation, match="deadlock"):
             deadlocked.run()
+
+
+class TestProgramOverrun:
+    @pytest.fixture
+    def overrunning(self):
+        """A schedule whose last bundle is not a halt: issue falls off
+        the end (a scheduler that dropped the halt)."""
+        prog = program(
+            [["li r1, 1"], ["add r1, r1, r1"]],
+            {"R0": 0},
+            [("R0", 0, 2)],
+        )
+        return VLIWMachine(prog, base_machine(), Memory())
+
+    def test_carries_snapshot(self, overrunning):
+        with pytest.raises(ProgramOverrun) as info:
+            overrunning.run()
+        snapshot = info.value.snapshot
+        assert snapshot.pc >= 2  # past the last bundle
+        assert snapshot.last_bundles
+
+    def test_remains_a_schedule_violation(self, overrunning):
+        with pytest.raises(ScheduleViolation, match="ran off the end"):
+            overrunning.run()
+
+
+class TestInterpreterSnapshot:
+    def test_describe_includes_position_and_block_path(self):
+        snapshot = InterpreterSnapshot(
+            pc=7, steps=100, scalar_cycles=120, recent_blocks=(0, 2, 1)
+        )
+        described = snapshot.describe()
+        assert "pc=7" in described
+        assert "steps=100" in described
+        assert "B0 -> B2 -> B1" in described
+
+    def test_describe_without_blocks(self):
+        snapshot = InterpreterSnapshot(
+            pc=0, steps=5, scalar_cycles=5, recent_blocks=()
+        )
+        assert "last blocks" not in snapshot.describe()

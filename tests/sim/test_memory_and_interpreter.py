@@ -123,6 +123,25 @@ class TestInterpreter:
         with pytest.raises(StepLimitExceeded):
             run_program(program, max_steps=100)
 
+    def test_step_limit_carries_snapshot_and_partial_result(self):
+        program = parse_program(
+            "loop:\n addi r1, r1, 1\n out r1\n jmp loop"
+        )
+        with pytest.raises(StepLimitExceeded) as info:
+            run_program(program, cfg=build_cfg(program), max_steps=90)
+        error = info.value
+        assert error.snapshot is not None
+        assert error.snapshot.steps == 90
+        assert error.snapshot.pc in range(len(program.instructions))
+        assert error.snapshot.recent_blocks  # the spin loop was seen
+        assert "last blocks entered" in str(error)
+        partial = error.partial
+        assert partial is not None
+        assert not partial.halted
+        assert partial.steps == 90
+        assert partial.output  # the loop's out values up to the cutoff
+        assert partial.registers[1] > 0
+
     def test_r0_reads_zero(self):
         result = run_program(parse_program("li r0, 7\nout r0\nhalt"))
         assert result.output == [0]

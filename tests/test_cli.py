@@ -211,3 +211,69 @@ class TestProfileCli:
         assert main(["exec", "li", "--trace-out", str(target)]) == 0
         tracks = validate_trace_events(json.loads(target.read_text()))
         assert "alu" in tracks
+
+
+class TestVerifyCli:
+    def test_verify_workload_all_models(self, capsys):
+        assert main(["verify", "grep"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("EQUIVALENT") == 2  # region_pred + trace_pred
+        assert "region_pred" in out and "trace_pred" in out
+
+    def test_verify_single_model(self, capsys):
+        assert main(["verify", "li", "--model", "region_pred"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("EQUIVALENT") == 1
+
+    def test_verify_predicating_alias(self, capsys):
+        assert main(["verify", "grep", "--model", "predicating"]) == 0
+        assert "region_pred" in capsys.readouterr().out
+
+    def test_verify_json_document(self, tmp_path, capsys):
+        target = tmp_path / "verify.json"
+        assert main(["verify", "grep", "--json", str(target)]) == 0
+        document = json.loads(target.read_text())
+        assert document["schema"] == "repro-verify/v1"
+        assert all(result["equivalent"] for result in document["results"])
+        assert document["metrics"]["counters"]["oracle.runs"] == 2
+
+    def test_verify_needs_a_target(self, capsys):
+        assert main(["verify"]) == 2
+
+    def test_verify_replay_roundtrip(self, tmp_path, capsys):
+        from repro.verify.fuzz import build_case, derive_campaign
+
+        case_path = build_case(derive_campaign(0, 0)).save(
+            tmp_path / "case.json"
+        )
+        assert main(["verify", "--replay", str(case_path)]) == 0
+        out = capsys.readouterr().out
+        assert "replaying" in out and "EQUIVALENT" in out
+
+
+class TestFuzzCli:
+    def test_fuzz_clean_run(self, capsys):
+        assert main(["fuzz", "--campaigns", "5", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "5 campaigns" in out
+        assert "0 divergent" in out
+
+    def test_fuzz_json_document(self, tmp_path, capsys):
+        target = tmp_path / "fuzz.json"
+        assert (
+            main(
+                ["fuzz", "--campaigns", "4", "--seed", "1",
+                 "--json", str(target)]
+            )
+            == 0
+        )
+        document = json.loads(target.read_text())
+        assert document["schema"] == "repro-fuzz/v1"
+        assert document["campaigns"] == 4
+        assert document["divergences"] == 0
+        assert document["metrics"]["counters"]["fuzz.campaigns"] == 4
+
+    def test_fuzz_verbose_progress(self, capsys):
+        assert main(["fuzz", "--campaigns", "2", "--verbose"]) == 0
+        err = capsys.readouterr().err
+        assert err.count(": ok") == 2

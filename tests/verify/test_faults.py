@@ -1,0 +1,76 @@
+"""Fault-injection campaigns: corruption is never a silent wrong answer.
+
+Every injected corruption of buffered speculative state must resolve to
+an outcome the architecture (or the oracle) accounts for -- masked,
+recovered, detected, or (for CCR flips, which corrupt decided
+architectural state) an oracle-caught divergence.  A trial whose outcome
+falls outside the per-point allowance is a violation and fails the
+campaign.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import CounterSink
+from repro.verify.faults import (
+    ALLOWED_OUTCOMES,
+    INJECTION_POINTS,
+    run_fault_campaign,
+)
+
+
+class TestCampaign:
+    def test_no_violations_across_all_points(self):
+        report = run_fault_campaign(8, seed=0)
+        assert not report.violations, report.describe()
+        assert len(report.results) == 8
+
+    def test_every_point_is_exercised(self):
+        report = run_fault_campaign(8, seed=0)
+        matrix = report.outcome_matrix()
+        assert set(matrix) == set(INJECTION_POINTS)
+
+    def test_outcomes_respect_the_allowance(self):
+        report = run_fault_campaign(8, seed=0)
+        for result in report.results:
+            if result.outcome == "not_applied":
+                continue
+            assert result.outcome in ALLOWED_OUTCOMES[result.point], (
+                result.describe()
+            )
+
+    def test_recovery_path_is_actually_taken(self):
+        """Spurious E flags on buffered state must force recoveries in
+        at least some trials -- otherwise the campaign isn't testing the
+        Section 3 recovery machinery at all."""
+        report = run_fault_campaign(
+            8, seed=0, points=("regfile", "store_buffer")
+        )
+        outcomes = [r.outcome for r in report.results]
+        assert "recovered" in outcomes, outcomes
+
+    def test_deterministic(self):
+        assert (
+            run_fault_campaign(4, seed=5).to_dict()
+            == run_fault_campaign(4, seed=5).to_dict()
+        )
+
+    def test_report_is_json_native(self):
+        document = run_fault_campaign(4, seed=0).to_dict()
+        json.dumps(document)
+        assert document["trials"] == 4
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown injection point"):
+            run_fault_campaign(1, seed=0, points=("tlb",))
+
+    def test_sink_counters(self):
+        sink = CounterSink()
+        report = run_fault_campaign(4, seed=0, sink=sink)
+        counters = sink.to_dict()["counters"]
+        assert counters["faults.trials"] == 4
+        assert "faults.violations" not in counters
+        applied = [r for r in report.results if r.outcome != "not_applied"]
+        for result in applied:
+            assert counters[f"faults.{result.point}.{result.outcome}"] >= 1
