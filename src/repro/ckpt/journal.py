@@ -1,0 +1,101 @@
+"""Sweep journals: the completed-cell ledger behind ``--resume``.
+
+A journal directory makes a long sweep (``repro experiment``, fuzz
+campaigns) restartable after a crash or kill:
+
+* ``ledger.jsonl`` -- one append-only line per *completed* unit of work
+  (an experiment cell, a fuzz campaign), carrying the unit's content key
+  and its full result payload.  Lines are written with ``flush`` after
+  each append, so everything completed before a SIGKILL survives; a
+  torn final line (the kill landed mid-write) is detected and ignored
+  on load.  Failed units are never ledgered -- resume retries them.
+* ``cells/<key>/`` -- per-unit checkpoint directories for in-flight
+  machine snapshots, so even a partially-executed cell can resume
+  mid-run (used by the measured VLIW cells).
+
+Resume reads the ledger *before* consulting any cache: a ledger hit
+replays the recorded payload verbatim and counts in ``ledger_hits``,
+which is how the kill-and-resume test proves zero re-execution.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.ckpt.state import canonical_dumps
+
+LEDGER_NAME = "ledger.jsonl"
+CELLS_DIR = "cells"
+
+_KEY_SAFE = re.compile(r"[^A-Za-z0-9._-]")
+
+
+class Journal:
+    """One sweep's durable progress record."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.ledger_path = self.directory / LEDGER_NAME
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # Writing.
+    # ------------------------------------------------------------------
+    def record(self, key: str, payload: dict) -> None:
+        """Append one completed unit.  Line-buffered append-only writes:
+        concurrent appends from one process interleave whole lines, and a
+        kill can only tear the final line."""
+        if self._handle is None:
+            self._handle = open(self.ledger_path, "a", encoding="utf-8")
+        self._handle.write(
+            canonical_dumps({"key": key, "payload": payload}) + "\n"
+        )
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Reading.
+    # ------------------------------------------------------------------
+    def completed(self) -> dict[str, dict]:
+        """Key -> payload for every durably completed unit.
+
+        Corrupt or truncated lines (the torn tail of a killed process)
+        are skipped; later records for the same key win.
+        """
+        completed: dict[str, dict] = {}
+        if not self.ledger_path.exists():
+            return completed
+        with open(self.ledger_path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    completed[record["key"]] = record["payload"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    continue  # torn or foreign line: not a completed unit
+        return completed
+
+    # ------------------------------------------------------------------
+    # Per-unit checkpoint directories.
+    # ------------------------------------------------------------------
+    def cell_dir(self, key: str) -> Path:
+        """The checkpoint directory for one unit (created on demand)."""
+        safe = _KEY_SAFE.sub("_", key)[:128]
+        path = self.directory / CELLS_DIR / safe
+        path.mkdir(parents=True, exist_ok=True)
+        return path

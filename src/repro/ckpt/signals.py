@@ -1,0 +1,103 @@
+"""Graceful shutdown: SIGINT/SIGTERM supervision for long runs.
+
+The CLI's long-running verbs (``exec``, ``experiment``, ``fuzz``,
+``profile``) install a :class:`SignalSupervisor` around their work.  The
+handler itself only *records* the signal -- all actual shutdown work
+(flushing a final checkpoint, writing the partial artifact) happens at
+the next safe boundary in the supervised loop, where state is
+consistent.  A second signal of the same kind falls back to the default
+disposition, so a stuck flush can still be interrupted.
+
+Interrupted runs exit with the Unix convention ``128 + signum``
+(SIGINT -> 130, SIGTERM -> 143), distinct from the CLI's ordinary error
+codes, so wrappers and CI can tell "killed but checkpointed" from
+"failed".
+"""
+
+from __future__ import annotations
+
+import signal
+from pathlib import Path
+
+
+def exit_code_for(signum: int) -> int:
+    """The process exit code for a run stopped by *signum*."""
+    return 128 + signum
+
+
+class ShutdownRequested(Exception):
+    """A supervised loop observed a termination signal.
+
+    Carries the signal number, the derived exit code, and the path of
+    the final flushed checkpoint (when one was written) so the CLI can
+    report where to resume from.
+    """
+
+    def __init__(self, signum: int, checkpoint: str | Path | None = None):
+        self.signum = signum
+        self.exit_code = exit_code_for(signum)
+        self.checkpoint = str(checkpoint) if checkpoint is not None else None
+        name = signal.Signals(signum).name
+        message = f"interrupted by {name}"
+        if self.checkpoint is not None:
+            message += f"; checkpoint flushed to {self.checkpoint}"
+        super().__init__(message)
+
+
+class SignalSupervisor:
+    """Deferred SIGINT/SIGTERM handling for checkpointable loops.
+
+    Use as a context manager::
+
+        with SignalSupervisor() as supervisor:
+            while machine.step():
+                if supervisor.pending is not None:
+                    ...flush checkpoint...
+                    raise supervisor.shutdown()
+
+    The previous handlers are restored on exit, and a signal arriving
+    while installed is re-delivered to nobody -- the supervised loop is
+    responsible for checking :attr:`pending` at its boundaries.
+    """
+
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self, signals=SIGNALS):
+        self.signals = tuple(signals)
+        self.pending: int | None = None
+        self._previous: dict[int, object] = {}
+        self._installed = False
+
+    def _handle(self, signum, frame) -> None:
+        self.pending = signum
+        # A second signal of the same kind means "stop now": restore the
+        # default disposition so the next delivery terminates.
+        signal.signal(signum, signal.SIG_DFL)
+
+    def install(self) -> "SignalSupervisor":
+        for signum in self.signals:
+            self._previous[signum] = signal.signal(signum, self._handle)
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, TypeError):
+                pass
+        self._previous.clear()
+        self._installed = False
+
+    def __enter__(self) -> "SignalSupervisor":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+    def shutdown(self, checkpoint: str | Path | None = None) -> ShutdownRequested:
+        """Build the exception for the recorded signal (caller raises)."""
+        assert self.pending is not None, "no signal pending"
+        return ShutdownRequested(self.pending, checkpoint=checkpoint)

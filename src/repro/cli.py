@@ -27,6 +27,18 @@ Commands:
   over random structured programs, region policies, machine shapes and
   fault-raising loads; ``--shrink`` delta-debugs findings to minimal
   repros, ``--out`` freezes them as replayable JSON cases.
+* ``ckpt``       -- checkpoint tooling; ``ckpt inspect SNAP.json``
+  prints a snapshot's engine, position, occupancy and hash validity
+  (``--summary`` for the grep-able one-line form).
+
+Resumability: ``exec`` and ``profile`` take ``--checkpoint-dir`` /
+``--checkpoint-every`` / ``--resume`` (periodic machine snapshots,
+continued bit-identically); ``experiment`` and ``fuzz`` take
+``--journal DIR`` / ``--resume`` (a durable completed-work ledger, so a
+killed sweep replays finished cells instead of recomputing them).  The
+long-running verbs trap SIGINT/SIGTERM, flush a final checkpoint at the
+next safe boundary, and exit ``128 + signum`` (130/143) so wrappers can
+tell "interrupted but resumable" from "failed".
 """
 
 from __future__ import annotations
@@ -37,6 +49,20 @@ import sys
 from pathlib import Path
 
 from repro.analysis.branch_prediction import StaticPredictor
+from repro.ckpt import (
+    CheckpointError,
+    CheckpointWriter,
+    Journal,
+    ShutdownRequested,
+    SignalSupervisor,
+    describe_snapshot,
+    latest_snapshot,
+    restore_vliw,
+    run_vliw,
+    summary_line,
+    validate_snapshot,
+)
+from repro.ckpt.engine import read_json
 from repro.compiler import MODELS, compile_program, evaluate_model
 from repro.eval import EXPERIMENTS, ExperimentContext, ExperimentOptions
 from repro.eval.artifact import dumps_artifact, make_artifact, write_artifact
@@ -127,6 +153,65 @@ def _write_trace(tracer: CycleTraceRecorder, target: str) -> None:
     )
 
 
+def _checkpointed_machine_runner(args, supervisor: SignalSupervisor):
+    """A :func:`evaluate_model` machine-runner hook wiring the checkpoint
+    layer into ``exec``/``profile``: periodic snapshots under
+    ``--checkpoint-dir``, bit-identical continuation from the newest
+    valid snapshot with ``--resume`` (corrupt or stale snapshots are
+    reported and skipped, never fatal), and a final snapshot flush when
+    the supervisor observes SIGINT/SIGTERM."""
+    ckpt_dir = (
+        Path(args.checkpoint_dir)
+        if getattr(args, "checkpoint_dir", None)
+        else None
+    )
+
+    def runner(machine):
+        writer = CheckpointWriter(ckpt_dir) if ckpt_dir is not None else None
+        resumed = machine
+        if ckpt_dir is not None and args.resume:
+            latest = latest_snapshot(ckpt_dir)
+            for skipped_path, reason in latest.skipped:
+                print(
+                    f"[ckpt] skipping {skipped_path}: {reason}",
+                    file=sys.stderr,
+                )
+            if latest.found:
+                try:
+                    resumed = restore_vliw(
+                        latest.document,
+                        machine.program,
+                        machine.config,
+                        fault_handler=machine.fault_handler,
+                        sink=machine.sink,
+                        tracer=machine.tracer,
+                        path=latest.path,
+                    )
+                    print(
+                        f"[ckpt] resumed {latest.path} "
+                        f"at cycle {resumed.cycle}",
+                        file=sys.stderr,
+                    )
+                except CheckpointError as error:
+                    print(
+                        f"[ckpt] {error}; starting fresh", file=sys.stderr
+                    )
+        return run_vliw(
+            resumed,
+            checkpoint_every=args.checkpoint_every,
+            writer=writer,
+            supervisor=supervisor,
+        )
+
+    return runner
+
+
+def _report_shutdown(shutdown: ShutdownRequested, resume_hint: str) -> int:
+    print(f"[ckpt] {shutdown}", file=sys.stderr)
+    print(f"[ckpt] resume with {resume_hint}", file=sys.stderr)
+    return shutdown.exit_code
+
+
 def cmd_exec(args) -> int:
     program, train, memory = _load_program_and_memory(args.target, args.seed)
     if args.model != "scalar" and not MODELS[args.model].executable:
@@ -136,15 +221,27 @@ def cmd_exec(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.resume and not args.checkpoint_dir:
+        print("--resume needs --checkpoint-dir", file=sys.stderr)
+        return 2
     tracer = CycleTraceRecorder(program.name) if args.trace_out else None
-    evaluation = evaluate_model(
-        program,
-        args.model,
-        base_machine(),
-        train_memory=train,
-        eval_memory=memory,
-        tracer=tracer,
-    )
+    with SignalSupervisor() as supervisor:
+        try:
+            evaluation = evaluate_model(
+                program,
+                args.model,
+                base_machine(),
+                train_memory=train,
+                eval_memory=memory,
+                tracer=tracer,
+                machine_runner=_checkpointed_machine_runner(args, supervisor),
+            )
+        except ShutdownRequested as shutdown:
+            return _report_shutdown(
+                shutdown,
+                f"repro exec {args.target} --checkpoint-dir "
+                f"{args.checkpoint_dir or 'DIR'} --resume",
+            )
     machine = evaluation.machine
     assert machine is not None
     print(f"output        : {machine.output}")
@@ -162,17 +259,29 @@ def cmd_exec(args) -> int:
 def cmd_profile(args) -> int:
     program, train, memory = _load_program_and_memory(args.target, args.seed)
     model = _PROFILE_MODELS[args.model]
+    if args.resume and not args.checkpoint_dir:
+        print("--resume needs --checkpoint-dir", file=sys.stderr)
+        return 2
     sink = CounterSink()
     tracer = CycleTraceRecorder(program.name) if args.trace_out else None
-    evaluation = evaluate_model(
-        program,
-        model,
-        base_machine(),
-        train_memory=train,
-        eval_memory=memory,
-        sink=sink,
-        tracer=tracer,
-    )
+    with SignalSupervisor() as supervisor:
+        try:
+            evaluation = evaluate_model(
+                program,
+                model,
+                base_machine(),
+                train_memory=train,
+                eval_memory=memory,
+                sink=sink,
+                tracer=tracer,
+                machine_runner=_checkpointed_machine_runner(args, supervisor),
+            )
+        except ShutdownRequested as shutdown:
+            return _report_shutdown(
+                shutdown,
+                f"repro profile {args.target} --checkpoint-dir "
+                f"{args.checkpoint_dir or 'DIR'} --resume",
+            )
     machine = evaluation.machine
     assert machine is not None
     report = attribute_regions(sink)
@@ -290,6 +399,9 @@ def cmd_verify(args) -> int:
 def cmd_fuzz(args) -> int:
     from repro.verify import run_fuzz
 
+    if args.resume and not args.journal:
+        print("--resume needs --journal", file=sys.stderr)
+        return 2
     sink = CounterSink()
 
     def progress(spec, result) -> None:
@@ -297,14 +409,34 @@ def cmd_fuzz(args) -> int:
             status = "ok" if result.equivalent else "DIVERGED"
             print(f"  {spec.label()}: {status}", file=sys.stderr)
 
-    report = run_fuzz(
-        args.campaigns,
-        args.seed,
-        shrink=args.shrink,
-        out_dir=args.out,
-        sink=sink,
-        progress=progress,
-    )
+    journal = Journal(args.journal) if args.journal else None
+    try:
+        with SignalSupervisor() as supervisor:
+            report = run_fuzz(
+                args.campaigns,
+                args.seed,
+                shrink=args.shrink,
+                out_dir=args.out,
+                sink=sink,
+                progress=progress,
+                journal=journal,
+                supervisor=supervisor,
+            )
+    except ShutdownRequested as shutdown:
+        if journal is not None:
+            print(
+                f"[ckpt] completed campaigns are ledgered in "
+                f"{args.journal}",
+                file=sys.stderr,
+            )
+        return _report_shutdown(
+            shutdown,
+            f"repro fuzz --campaigns {args.campaigns} --seed {args.seed} "
+            f"--journal {args.journal or 'DIR'} --resume",
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     print(report.summary())
     if args.json:
         document = {
@@ -346,35 +478,143 @@ def cmd_experiment(args) -> int:
         print(f"--cache-dir {cache_dir} exists and is not a directory",
               file=sys.stderr)
         return 2
-    ctx = ExperimentContext(
-        jobs=args.jobs, cache_dir=cache_dir, use_cache=not args.no_cache,
-        cell_timeout=args.cell_timeout, max_retries=args.retries,
-        fail_fast=args.fail_fast,
-    )
-    options = ExperimentOptions()
-    for name in names:
-        errors_before = len(ctx.runner.stats.errors)
-        result = EXPERIMENTS[name](ctx, options)
-        # Runner telemetry at artifact-write time (cumulative over the
-        # run); nondeterministic wall time, so strictly opt-in.  Failed
-        # cells always ride the artifact as structured error entries.
-        metrics = ctx.runner.stats.to_metrics() if args.metrics else None
-        errors = ctx.runner.stats.errors[errors_before:]
-        if json_stdout:
-            sys.stdout.write(
-                dumps_artifact(make_artifact(name, result, metrics, errors))
+    if args.resume and not args.journal:
+        print("--resume needs --journal", file=sys.stderr)
+        return 2
+    journal = Journal(args.journal) if args.journal else None
+    try:
+        with SignalSupervisor() as supervisor:
+            ctx = ExperimentContext(
+                jobs=args.jobs, cache_dir=cache_dir,
+                use_cache=not args.no_cache,
+                cell_timeout=args.cell_timeout, max_retries=args.retries,
+                fail_fast=args.fail_fast,
+                journal=journal, checkpoint_every=args.checkpoint_every,
+                supervisor=supervisor,
             )
-        else:
-            print(result.render())
-            print()
-            if json_target is not None:
-                path = write_artifact(
-                    json_target, name, result, metrics, errors
+            options = ExperimentOptions()
+            for name in names:
+                errors_before = len(ctx.runner.stats.errors)
+                result = EXPERIMENTS[name](ctx, options)
+                # Runner telemetry at artifact-write time (cumulative
+                # over the run); nondeterministic wall time, so strictly
+                # opt-in.  Failed cells always ride the artifact as
+                # structured error entries.
+                metrics = (
+                    ctx.runner.stats.to_metrics() if args.metrics else None
                 )
-                print(f"[artifact] {path}", file=sys.stderr)
+                errors = ctx.runner.stats.errors[errors_before:]
+                if json_stdout:
+                    sys.stdout.write(
+                        dumps_artifact(
+                            make_artifact(name, result, metrics, errors)
+                        )
+                    )
+                else:
+                    print(result.render())
+                    print()
+                    if json_target is not None:
+                        path = write_artifact(
+                            json_target, name, result, metrics, errors
+                        )
+                        print(f"[artifact] {path}", file=sys.stderr)
+    except ShutdownRequested as shutdown:
+        if journal is not None:
+            print(
+                f"[ckpt] completed cells are ledgered in {args.journal}",
+                file=sys.stderr,
+            )
+        return _report_shutdown(
+            shutdown,
+            f"repro experiment {args.name} --journal "
+            f"{args.journal or 'DIR'} --resume",
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     if not args.quiet:
         print(ctx.runner.stats.report(), file=sys.stderr)
     return 0 if not ctx.runner.stats.errors else 3
+
+
+def cmd_ckpt(args) -> int:
+    """Checkpoint tooling; currently the ``inspect`` verb."""
+    try:
+        document = read_json(args.snapshot)
+    except CheckpointError as error:
+        print(error, file=sys.stderr)
+        return 2
+    problem = None
+    try:
+        validate_snapshot(document, path=args.snapshot)
+    except CheckpointError as error:
+        problem = error.reason
+    hash_ok = problem is None
+    try:
+        if args.summary:
+            print(summary_line(document, hash_ok=hash_ok))
+        else:
+            info = describe_snapshot(document, hash_ok=hash_ok)
+            if problem is not None:
+                info["problem"] = problem
+            print(json.dumps(info, sort_keys=True, indent=2))
+    except (AttributeError, TypeError):
+        # Too malformed to even summarize; the validation reason says why.
+        print(f"{args.snapshot}: {problem}", file=sys.stderr)
+        return 1
+    if problem is not None:
+        print(f"[ckpt] {args.snapshot}: {problem}", file=sys.stderr)
+    return 0 if hash_ok else 1
+
+
+def _add_checkpoint_options(parser: argparse.ArgumentParser) -> None:
+    """The machine-run checkpoint knobs shared by ``exec``/``profile``."""
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help=(
+            "write rotating machine snapshots here (and a final one on "
+            "SIGINT/SIGTERM)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10_000,
+        metavar="CYCLES",
+        help="cycles between periodic snapshots (default: 10000)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "continue from the newest valid snapshot in --checkpoint-dir "
+            "(bit-identical to the uninterrupted run)"
+        ),
+    )
+
+
+def _add_journal_options(
+    parser: argparse.ArgumentParser, unit: str
+) -> None:
+    """The sweep-resume knobs shared by ``experiment``/``fuzz``."""
+    parser.add_argument(
+        "--journal",
+        metavar="DIR",
+        help=(
+            f"durably ledger every completed {unit} here; a re-run with "
+            "the same journal replays finished work instead of "
+            "recomputing it"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted journalled run (requires --journal; "
+            "artifacts come out byte-identical to an uninterrupted run)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -418,6 +658,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="TRACE",
         help="write a Perfetto/Chrome trace_event JSON of the machine run",
     )
+    _add_checkpoint_options(exec_parser)
 
     profile_parser = commands.add_parser(
         "profile",
@@ -448,6 +689,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="TRACE",
         help="write a Perfetto/Chrome trace_event JSON of the machine run",
     )
+    _add_checkpoint_options(profile_parser)
 
     experiment_parser = commands.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -527,6 +769,17 @@ def build_parser() -> argparse.ArgumentParser:
             "structured error entry and finishing the sweep"
         ),
     )
+    _add_journal_options(experiment_parser, "cell")
+    experiment_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help=(
+            "in-flight machine snapshot period for journalled measured "
+            "cells (default: 5000)"
+        ),
+    )
 
     verify_parser = commands.add_parser(
         "verify",
@@ -587,6 +840,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print one line per campaign on stderr",
     )
+    _add_journal_options(fuzz_parser, "campaign")
+
+    ckpt_parser = commands.add_parser(
+        "ckpt", help="checkpoint tooling (inspect snapshots)"
+    )
+    ckpt_commands = ckpt_parser.add_subparsers(
+        dest="ckpt_command", required=True
+    )
+    inspect_parser = ckpt_commands.add_parser(
+        "inspect",
+        help="describe a snapshot: engine, position, occupancy, hash",
+    )
+    inspect_parser.add_argument("snapshot", help="path to a SNAP.json file")
+    inspect_parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="one grep-able line instead of the JSON description",
+    )
     return parser
 
 
@@ -601,6 +872,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": cmd_experiment,
         "verify": cmd_verify,
         "fuzz": cmd_fuzz,
+        "ckpt": cmd_ckpt,
     }
     return handlers[args.command](args)
 

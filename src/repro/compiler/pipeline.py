@@ -164,11 +164,20 @@ def evaluate_model(
     max_steps: int | None = None,
     sink: MetricsSink = NULL_SINK,
     tracer: CycleTraceRecorder | None = None,
+    machine_runner=None,
 ) -> ModelEvaluation:
     """The full paper methodology for one (program, model, machine) triple.
 
     *sink* and *tracer* instrument the cycle-level machine run only (the
     scalar baseline runs un-instrumented); both default to off.
+
+    *machine_runner*, when given, is called as ``machine_runner(machine)
+    -> VLIWResult`` in place of ``machine.run()`` -- the hook the
+    checkpoint layer uses to run the machine with periodic snapshots,
+    resume it from a prior snapshot (the machine exposes its program,
+    config, sink and tracer for reconstruction), or stop it gracefully
+    on a signal.  The architectural-equivalence check still applies to
+    whatever result the runner returns.
     """
     cfg = build_cfg(program)
     train = run_scalar(
@@ -198,7 +207,9 @@ def evaluate_model(
             sink=sink,
             tracer=tracer,
         )
-        machine_result = machine.run()
+        machine_result = (
+            machine.run() if machine_runner is None else machine_runner(machine)
+        )
         if machine_result.architectural_output != evaluation.output:
             raise AssertionError(
                 f"{program.name}/{compiled.policy.name}: scheduled code "

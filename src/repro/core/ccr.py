@@ -62,6 +62,19 @@ class CCR:
         other._values = list(self._values)
         return other
 
+    # ------------------------------------------------------------------
+    # Checkpoint state extraction (JSON-native).
+    # ------------------------------------------------------------------
+    def state_list(self) -> list[bool | None]:
+        """The entry values as a JSON-ready list (True/False/None)."""
+        return list(self._values)
+
+    def load_state(self, values: list[bool | None]) -> None:
+        """Restore entry values captured by :meth:`state_list`."""
+        if len(values) != self.num_entries:
+            raise ValueError("CCR size mismatch")
+        self._values = [None if v is None else bool(v) for v in values]
+
     def _check(self, index: int) -> None:
         if not 0 <= index < self.num_entries:
             raise IndexError(f"CCR index out of range: {index}")

@@ -46,6 +46,24 @@ class FaultRecord:
     address: int | None = None
     detail: str = ""
 
+    def to_state(self) -> dict:
+        """JSON-native form for checkpoint snapshots."""
+        return {
+            "kind": self.kind.value,
+            "instruction_uid": self.instruction_uid,
+            "address": self.address,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FaultRecord":
+        return cls(
+            kind=FaultKind(state["kind"]),
+            instruction_uid=state["instruction_uid"],
+            address=state["address"],
+            detail=state.get("detail", ""),
+        )
+
 
 class SpeculativeExceptionCommit(Exception):
     """Internal signal: a buffered speculative exception's predicate

@@ -256,6 +256,60 @@ class PredicatedRegisterFile:
     def has_speculative_state(self) -> bool:
         return any(entry.pending for entry in self.entries)
 
+    # ------------------------------------------------------------------
+    # Checkpoint state extraction (JSON-native).
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The complete register-file contents: sequential values plus
+        every buffered speculative write with its predicate and E flag."""
+        return {
+            "sequential": [entry.sequential for entry in self.entries],
+            "pending": {
+                str(reg): [
+                    {
+                        "value": write.value,
+                        "pred": str(write.pred),
+                        "fault": (
+                            None
+                            if write.fault is None
+                            else write.fault.to_state()
+                        ),
+                    }
+                    for write in entry.pending
+                ]
+                for reg, entry in enumerate(self.entries)
+                if entry.pending
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore contents captured by :meth:`state_dict`."""
+        from repro.core.predicate import parse_predicate
+
+        sequential = state["sequential"]
+        if len(sequential) != self.num_regs:
+            raise ValueError(
+                f"register count mismatch: snapshot has {len(sequential)}, "
+                f"file has {self.num_regs}"
+            )
+        for entry, value in zip(self.entries, sequential):
+            entry.sequential = value
+            entry.pending = []
+        for reg_text, writes in state.get("pending", {}).items():
+            entry = self._entry(int(reg_text))
+            entry.pending = [
+                PendingWrite(
+                    value=write["value"],
+                    pred=parse_predicate(write["pred"]),
+                    fault=(
+                        None
+                        if write["fault"] is None
+                        else FaultRecord.from_state(write["fault"])
+                    ),
+                )
+                for write in writes
+            ]
+
     def _entry(self, reg: int) -> RegisterFileEntry:
         if not 0 <= reg < self.num_regs:
             raise IndexError(f"register out of range: {reg}")

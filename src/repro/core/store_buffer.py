@@ -200,3 +200,55 @@ class PredicatedStoreBuffer:
     def pending_entries(self) -> list[StoreBufferEntry]:
         """The live entries, oldest first (for tests)."""
         return [entry for _, entry in self._entries]
+
+    # ------------------------------------------------------------------
+    # Checkpoint state extraction (JSON-native).
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The FIFO contents with serials and W/V/E flags."""
+        return {
+            "serial": self._serial,
+            "entries": [
+                {
+                    "serial": serial,
+                    "address": entry.address,
+                    "value": entry.value,
+                    "pred": str(entry.pred),
+                    "speculative": entry.speculative,
+                    "valid": entry.valid,
+                    "fault": (
+                        None if entry.fault is None else entry.fault.to_state()
+                    ),
+                }
+                for serial, entry in self._entries
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore contents captured by :meth:`state_dict`."""
+        from repro.core.predicate import parse_predicate
+
+        if len(state["entries"]) > self.capacity:
+            raise ValueError(
+                f"store buffer capacity mismatch: snapshot holds "
+                f"{len(state['entries'])}, buffer fits {self.capacity}"
+            )
+        self._serial = state["serial"]
+        self._entries = [
+            (
+                item["serial"],
+                StoreBufferEntry(
+                    address=item["address"],
+                    value=item["value"],
+                    pred=parse_predicate(item["pred"]),
+                    speculative=item["speculative"],
+                    valid=item["valid"],
+                    fault=(
+                        None
+                        if item["fault"] is None
+                        else FaultRecord.from_state(item["fault"])
+                    ),
+                ),
+            )
+            for item in state["entries"]
+        ]

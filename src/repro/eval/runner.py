@@ -36,6 +36,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis.branch_prediction import StaticPredictor, successive_accuracy
+from repro.ckpt.engine import (
+    CheckpointWriter,
+    latest_snapshot,
+    run_vliw as run_vliw_checkpointed,
+)
+from repro.ckpt.journal import Journal
+from repro.ckpt.signals import SignalSupervisor
+from repro.ckpt.state import CheckpointError, restore_vliw
 from repro.compiler.models import MODELS, REGION_PRED
 from repro.compiler.pipeline import compile_program
 from repro.compiler.policy import ModelPolicy
@@ -169,6 +177,9 @@ class ExperimentContext:
     cells out through.
     """
 
+    #: In-flight machine snapshot period (cycles) for journalled sweeps.
+    DEFAULT_CHECKPOINT_EVERY = 5_000
+
     def __init__(
         self,
         workloads: list[Workload] | None = None,
@@ -181,15 +192,24 @@ class ExperimentContext:
         retry_backoff: float = 0.1,
         fail_fast: bool = False,
         sink: MetricsSink = NULL_SINK,
+        journal: Journal | None = None,
+        checkpoint_every: int | None = None,
+        supervisor: SignalSupervisor | None = None,
     ):
         self.workloads = workloads if workloads is not None else all_workloads()
         self._baselines: dict[str, WorkloadBaseline] = {}
         self.sink = sink
+        self.journal = journal
+        self.checkpoint_every = (
+            checkpoint_every
+            if checkpoint_every is not None
+            else self.DEFAULT_CHECKPOINT_EVERY
+        )
         self.runner = CellRunner(
             self, jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
             cell_timeout=cell_timeout, max_retries=max_retries,
             retry_backoff=retry_backoff, fail_fast=fail_fast,
-            sink=sink,
+            sink=sink, journal=journal, supervisor=supervisor,
         )
 
     def workload(self, name: str) -> Workload:
@@ -236,6 +256,7 @@ class ExperimentContext:
         config: MachineConfig,
         *,
         run_machine: bool = False,
+        cell_key: str | None = None,
     ) -> dict:
         """Speedup plus BTB statistics of *model* on *workload*.
 
@@ -243,6 +264,12 @@ class ExperimentContext:
         (``config.btb_entries is None``) the BTB counts are zero; with a
         finite BTB they come from the cycle-level machine when it ran,
         otherwise from the trace-driven analytic counter.
+
+        With a journal and a *cell_key*, the machine run is checkpointed
+        in flight (periodic snapshots under the journal's cell
+        directory) and resumes from the newest valid snapshot -- the
+        restored continuation is bit-identical, so the measured cycle
+        count is unaffected.
         """
         baseline = self.baseline(workload)
         compiled = compile_program(
@@ -252,8 +279,12 @@ class ExperimentContext:
         cycles = analytic.cycles
         btb_hits, btb_misses = analytic.btb_hits, analytic.btb_misses
         if run_machine and compiled.vliw is not None:
-            machine = VLIWMachine(compiled.vliw, config, workload.eval_memory())
-            result = machine.run()
+            machine, writer = self._machine_for_cell(
+                compiled.vliw, config, workload, cell_key
+            )
+            result = run_vliw_checkpointed(
+                machine, checkpoint_every=self.checkpoint_every, writer=writer
+            )
             if result.architectural_output != tuple(baseline.evaluation.output):
                 raise AssertionError(
                     f"{workload.name}/{compiled.policy.name}: scheduled code "
@@ -268,6 +299,32 @@ class ExperimentContext:
             "btb_hits": btb_hits,
             "btb_misses": btb_misses,
         }
+
+    def _machine_for_cell(
+        self,
+        vliw,
+        config: MachineConfig,
+        workload: Workload,
+        cell_key: str | None,
+    ) -> tuple[VLIWMachine, CheckpointWriter | None]:
+        """A machine for one measured cell, resumed mid-run when a
+        journalled snapshot for it validates (a stale or corrupt snapshot
+        falls back to a fresh machine, never an abort)."""
+        if self.journal is None or cell_key is None:
+            return VLIWMachine(vliw, config, workload.eval_memory()), None
+        cell_dir = self.journal.cell_dir(cell_key)
+        latest = latest_snapshot(cell_dir)
+        machine = None
+        if latest.found:
+            try:
+                machine = restore_vliw(
+                    latest.document, vliw, config, path=latest.path
+                )
+            except CheckpointError:
+                machine = None  # wrong program/config generation: recompute
+        if machine is None:
+            machine = VLIWMachine(vliw, config, workload.eval_memory())
+        return machine, CheckpointWriter(cell_dir)
 
     def run_cells(self, specs: list[CellSpec]) -> list[dict]:
         """Evaluate *specs* (cached, possibly in parallel), in order."""
@@ -292,6 +349,18 @@ def evaluate_cell(spec: CellSpec, ctx: ExperimentContext) -> dict:
             return {"value": "woke up"}
         if mode == "kill":
             os._exit(17)
+        if mode == "wait_for":
+            # Block until a sentinel file appears.  The kill-and-resume
+            # tests use this to park a sweep mid-cell deterministically:
+            # the first run is killed while waiting; the resume run
+            # pre-creates the sentinel, so the same spec completes.
+            sentinel = Path(str(spec.extra("path")))
+            deadline = time.monotonic() + float(spec.extra("timeout", 60.0))
+            while not sentinel.exists():
+                if time.monotonic() > deadline:
+                    raise TimeoutError(f"sentinel {sentinel} never appeared")
+                time.sleep(0.02)
+            return {"value": spec.extra("value", 1)}
         raise ValueError(f"unknown chaos mode {mode!r}")
 
     if spec.kind == "hwcost":
@@ -332,6 +401,11 @@ def evaluate_cell(spec: CellSpec, ctx: ExperimentContext) -> dict:
             spec.resolved_policy(),
             spec.config,
             run_machine=spec.run_machine,
+            cell_key=(
+                cell_cache_key(spec, workload)
+                if ctx.journal is not None and spec.run_machine
+                else None
+            ),
         )
 
     if spec.kind == "compile_stats":
@@ -450,6 +524,7 @@ class RunnerStats:
 
     hits: int = 0
     misses: int = 0
+    ledger_hits: int = 0
     cell_times: list[tuple[str, float]] = field(default_factory=list)
     wall_seconds: float = 0.0
     timeouts: int = 0
@@ -460,16 +535,19 @@ class RunnerStats:
 
     @property
     def total(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.misses + self.ledger_hits
 
     @property
     def hit_rate(self) -> float:
         return self.hits / self.total if self.total else 0.0
 
     def report(self) -> str:
+        ledger = (
+            f", ledger hits {self.ledger_hits}" if self.ledger_hits else ""
+        )
         lines = [
             f"cells: {self.total} "
-            f"(cache hits {self.hits}, misses {self.misses}, "
+            f"(cache hits {self.hits}, misses {self.misses}{ledger}, "
             f"hit rate {self.hit_rate:.0%}); "
             f"wall {self.wall_seconds:.2f}s"
         ]
@@ -504,8 +582,10 @@ class RunnerStats:
             "runner.cache_hits": self.hits,
             "runner.cache_misses": self.misses,
         }
-        # Failure-path counters appear only when something failed, so a
+        # Conditional counters appear only when the feature fired, so a
         # clean run's telemetry is unchanged by the hardening.
+        if self.ledger_hits:
+            counters["runner.ledger_hits"] = self.ledger_hits
         if self.errors:
             counters["runner.failed_cells"] = len(self.errors)
         if self.timeouts:
@@ -536,6 +616,15 @@ class CellRunner:
     cached), so one bad cell costs one cell, not the sweep.  With
     *fail_fast* the first failure raises instead -- the pre-hardening
     behaviour.
+
+    Resumability: with a *journal*, every completed cell is appended to
+    the journal ledger the moment its result is collected, and a later
+    run replays ledgered cells verbatim *before* consulting the cache
+    (counted in ``ledger_hits``) -- a killed sweep re-executes only the
+    cells that never finished.  With a *supervisor*, a pending
+    SIGINT/SIGTERM stops the sweep at the next cell boundary by raising
+    :class:`~repro.ckpt.signals.ShutdownRequested`; everything already
+    collected is safe in the ledger.
     """
 
     def __init__(
@@ -550,6 +639,8 @@ class CellRunner:
         retry_backoff: float = 0.1,
         fail_fast: bool = False,
         sink: MetricsSink = NULL_SINK,
+        journal: Journal | None = None,
+        supervisor: SignalSupervisor | None = None,
     ):
         self.ctx = ctx
         self.jobs = max(1, jobs)
@@ -560,7 +651,10 @@ class CellRunner:
         self.retry_backoff = retry_backoff
         self.fail_fast = fail_fast
         self.sink = sink
+        self.journal = journal
+        self.supervisor = supervisor
         self.stats = RunnerStats()
+        self._ledgered: set[str] = set()
 
     # -- cache ---------------------------------------------------------
     def _cache_path(self, key: str) -> Path:
@@ -630,22 +724,39 @@ class CellRunner:
         ]
         results: list[dict | None] = [None] * len(specs)
 
+        # Ledger pass: a journalled sweep replays durably completed
+        # cells verbatim, before the cache is even consulted -- this is
+        # what makes a ``--resume`` artifact byte-identical with zero
+        # re-execution of finished work.
+        ledger = (
+            self.journal.completed() if self.journal is not None else {}
+        )
+        self._ledgered.update(ledger)
+
         # Cache pass; duplicate keys within a batch compute once.
         pending: dict[str, list[int]] = {}
         for index, key in enumerate(keys):
+            if key in ledger:
+                results[index] = ledger[key]
+                self.stats.ledger_hits += 1
+                if self.sink.enabled:
+                    self.sink.count("runner.ledger_hits")
+                continue
             cached = self._cache_load(key)
             if cached is not None:
                 results[index] = cached
                 self.stats.hits += 1
                 if self.sink.enabled:
                     self.sink.count("runner.cache_hits")
+                # A cache hit completes the cell for resume purposes too.
+                self._journal_record(key, cached)
             else:
                 pending.setdefault(key, []).append(index)
 
         if pending:
             order = list(pending.items())  # deterministic batch order
             todo = [specs[indices[0]] for _, indices in order]
-            outcomes = self._evaluate_misses(todo)
+            outcomes = self._evaluate_misses(todo, [key for key, _ in order])
             for (key, indices), spec, outcome in zip(order, todo, outcomes):
                 self.stats.misses += len(indices)
                 if self.sink.enabled:
@@ -668,13 +779,44 @@ class CellRunner:
         assert all(value is not None for value in results)
         return results  # type: ignore[return-value]
 
-    def _evaluate_misses(self, todo: list[CellSpec]) -> list:
+    def _journal_record(self, key: str, values: dict) -> None:
+        """Ledger one durably completed cell (error entries never are)."""
+        if (
+            self.journal is None
+            or key in self._ledgered
+            or is_error_cell(values)
+        ):
+            return
+        self.journal.record(key, values)
+        self._ledgered.add(key)
+
+    def _note_outcome(self, key: str, outcome) -> None:
+        """Ledger a collected outcome the moment it exists, so a kill or
+        shutdown between cells loses nothing already computed."""
+        if outcome is not None and not is_error_cell(outcome):
+            values, _seconds = outcome
+            self._journal_record(key, values)
+
+    def _check_shutdown(self, pool: ProcessPoolExecutor | None = None) -> None:
+        if self.supervisor is None or self.supervisor.pending is None:
+            return
+        if pool is not None:
+            self._terminate(pool)
+        raise self.supervisor.shutdown()
+
+    def _evaluate_misses(self, todo: list[CellSpec], keys: list[str]) -> list:
         """Evaluate cache misses; one outcome per spec, in spec order.
 
         An outcome is either ``(values, seconds)`` or an error entry.
         """
         if not self._can_pool(todo):
-            return [self._in_process(spec) for spec in todo]
+            outcomes = []
+            for spec, key in zip(todo, keys):
+                outcome = self._in_process(spec)
+                self._note_outcome(key, outcome)
+                outcomes.append(outcome)
+                self._check_shutdown()
+            return outcomes
         # Pre-warm every needed baseline in the parent: workers started
         # by fork inherit the scalar runs copy-on-write instead of
         # re-interpreting each workload per process.
@@ -683,7 +825,7 @@ class CellRunner:
                 self.ctx.baseline(self.ctx.workload(spec.workload))
         _set_worker_ctx(self.ctx)
         try:
-            return self._pooled(todo)
+            return self._pooled(todo, keys)
         finally:
             _set_worker_ctx(None)
 
@@ -699,7 +841,7 @@ class CellRunner:
             return error_entry(spec, error, attempts=1)
         return values, time.perf_counter() - start
 
-    def _pooled(self, todo: list[CellSpec]) -> list:
+    def _pooled(self, todo: list[CellSpec], keys: list[str]) -> list:
         try:
             pool = ProcessPoolExecutor(max_workers=self.jobs)
             futures = [pool.submit(_pool_evaluate, spec) for spec in todo]
@@ -709,7 +851,13 @@ class CellRunner:
             self.stats.serial_fallbacks += 1
             if self.sink.enabled:
                 self.sink.count("runner.serial_fallbacks")
-            return [self._in_process(spec) for spec in todo]
+            outcomes = []
+            for spec, key in zip(todo, keys):
+                outcome = self._in_process(spec)
+                self._note_outcome(key, outcome)
+                outcomes.append(outcome)
+                self._check_shutdown()
+            return outcomes
 
         outcomes: list = [None] * len(todo)
         needs_isolation: list[int] = []
@@ -721,6 +869,7 @@ class CellRunner:
                 continue
             try:
                 outcomes[index] = future.result(timeout=self.cell_timeout)
+                self._note_outcome(keys[index], outcomes[index])
             except TimeoutError:
                 # The worker is hung on this cell; healthy workers keep
                 # draining the queue, so keep collecting and terminate
@@ -753,6 +902,7 @@ class CellRunner:
                     self._terminate(pool)
                     raise
                 outcomes[index] = error_entry(todo[index], error, 1)
+            self._check_shutdown(pool)
         if hung or broken:
             self._terminate(pool)
         else:
@@ -760,6 +910,8 @@ class CellRunner:
 
         for index in needs_isolation:
             outcomes[index] = self._isolated(todo[index])
+            self._note_outcome(keys[index], outcomes[index])
+            self._check_shutdown()
         return outcomes
 
     def _isolated(self, spec: CellSpec):

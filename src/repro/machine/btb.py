@@ -63,3 +63,26 @@ class BranchTargetBuffer:
     def to_counters(self) -> dict[str, int]:
         """The resolved statistics, in sink counter naming."""
         return {"btb.hits": self.hits, "btb.misses": self.misses}
+
+    # ------------------------------------------------------------------
+    # Checkpoint state extraction (JSON-native).
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Slot tags plus statistics (machine keys are bundle indices)."""
+        return {
+            "slots": list(self._slots),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore contents captured by :meth:`state_dict`."""
+        slots = state["slots"]
+        if len(slots) != self.entries:
+            raise ValueError(
+                f"BTB size mismatch: snapshot has {len(slots)} slots, "
+                f"buffer has {self.entries}"
+            )
+        self._slots = list(slots)
+        self.hits = state["hits"]
+        self.misses = state["misses"]

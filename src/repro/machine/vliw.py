@@ -221,6 +221,14 @@ class VLIWMachine:
         self.squashed_ops = 0
         self.speculative_ops = 0
 
+        # Run-loop state.  Promoted from locals of ``run`` so that a
+        # checkpoint between any two :meth:`step` calls captures the
+        # complete machine (the consecutive-stall count survives a
+        # save/restore mid-stall).
+        self._stalls = 0
+        self._halted = False
+        self._result: VLIWResult | None = None
+
         self._check_resources()
 
     @property
@@ -252,45 +260,68 @@ class VLIWMachine:
     # Main loop.
     # ------------------------------------------------------------------
     def run(self) -> VLIWResult:
-        halted = False
-        stalls = 0
-        while not halted:
-            if self.cycle >= self.max_cycles:
-                raise MachineAbort(
-                    f"{self.program.name}: exceeded {self.max_cycles} cycles",
-                    self.snapshot(),
-                )
-            if self.pc >= len(self.program.bundles):
-                raise ProgramOverrun(
-                    "ran off the end of the program", self.snapshot()
-                )
+        while self.step():
+            pass
+        return self.result()
 
-            self.cycle += 1
+    def step(self) -> bool:
+        """Advance the machine by one cycle.
+
+        Returns True while the machine is still running; the first call
+        that executes the halting bundle finalizes the run (drains the
+        store buffer, closes observation) and returns False, as does any
+        call after halt.  ``step`` boundaries are exactly the machine's
+        cycle boundaries, which is what makes the checkpoint layer's
+        save-anywhere guarantee well-defined.
+        """
+        if self._halted:
+            return False
+        if self.cycle >= self.max_cycles:
+            raise MachineAbort(
+                f"{self.program.name}: exceeded {self.max_cycles} cycles",
+                self.snapshot(),
+            )
+        if self.pc >= len(self.program.bundles):
+            raise ProgramOverrun(
+                "ran off the end of the program", self.snapshot()
+            )
+
+        self.cycle += 1
+        if self._observing:
+            self._observe_cycle()
+        if self._record_events:
+            self._cycle_events = CycleEvents(cycle=self.cycle)
+            self.events.append(self._cycle_events)
+        self._tick()
+
+        bundle = self.program.bundles[self.pc]
+        if self._must_stall(bundle):
+            self._stalls += 1
             if self._observing:
-                self._observe_cycle()
-            if self._record_events:
-                self._cycle_events = CycleEvents(cycle=self.cycle)
-                self.events.append(self._cycle_events)
-            self._tick()
+                self.sink.count("machine.stall_cycles")
+            if self._stalls > _MAX_CONSECUTIVE_STALLS:
+                raise StoreBufferDeadlock(
+                    "store buffer deadlock", self.snapshot()
+                )
+            self._apply_due_writebacks(self.ccr)
+            return True
+        self._stalls = 0
 
-            bundle = self.program.bundles[self.pc]
-            if self._must_stall(bundle):
-                stalls += 1
-                if self._observing:
-                    self.sink.count("machine.stall_cycles")
-                if stalls > _MAX_CONSECUTIVE_STALLS:
-                    raise StoreBufferDeadlock(
-                        "store buffer deadlock", self.snapshot()
-                    )
-                self._apply_due_writebacks(self.ccr)
-                continue
-            stalls = 0
+        if self._issue_and_finish(bundle):
+            self._finalize()
+            return False
+        return True
 
-            halted = self._issue_and_finish(bundle)
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def _finalize(self) -> None:
+        self._halted = True
         self._drain_at_halt()
         if self._observing:
             self._close_observation()
-        return VLIWResult(
+        self._result = VLIWResult(
             output=list(self.output),
             registers=self.regfile.sequential_snapshot(),
             memory=self.memory,
@@ -302,6 +333,12 @@ class VLIWMachine:
             squashed_ops=self.squashed_ops,
             speculative_ops=self.speculative_ops,
         )
+
+    def result(self) -> VLIWResult:
+        """The architectural outcome; only available once halted."""
+        if self._result is None:
+            raise RuntimeError("machine has not halted yet")
+        return self._result
 
     def _tick(self) -> None:
         rf_events = self.regfile.tick(self.ccr)

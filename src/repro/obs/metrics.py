@@ -98,6 +98,38 @@ class CounterSink(MetricsSink):
             "values": {str(value): histogram[value] for value in sorted(histogram)},
         }
 
+    # ------------------------------------------------------------------
+    # Checkpoint state extraction.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Exact sink contents (raw value->count histograms, no summary
+        statistics), so a checkpoint restore reproduces the sink bit for
+        bit rather than approximately."""
+        return {
+            "counters": {
+                name: self.counters[name] for name in sorted(self.counters)
+            },
+            "histograms": {
+                name: {
+                    str(value): histogram[value]
+                    for value in sorted(histogram)
+                }
+                for name, histogram in sorted(self.histograms.items())
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Replace this sink's contents with a :meth:`state_dict` capture."""
+        self.counters = Counter(
+            {name: value for name, value in state["counters"].items()}
+        )
+        self.histograms = {
+            name: Counter(
+                {int(value): times for value, times in histogram.items()}
+            )
+            for name, histogram in state["histograms"].items()
+        }
+
     def to_dict(self) -> dict:
         """JSON-native snapshot: the ``metrics`` payload of artifacts
         and of ``repro profile --json``."""

@@ -122,6 +122,10 @@ class Interpreter:
         self.handled_faults = 0
         self._last_load_dest: int | None = None
         self._recent_blocks: deque[int] = deque(maxlen=RECENT_BLOCKS)
+        # Run-loop state, promoted to fields so execution can pause and
+        # resume at any step boundary (the checkpoint layer's contract).
+        self._started = False
+        self._halted = False
 
         self.trace: DynamicTrace | None = None
         self._block_of_index: dict[int, int] = {}
@@ -146,23 +150,44 @@ class Interpreter:
     # ------------------------------------------------------------------
     def run(self) -> InterpreterResult:
         """Run to ``halt``; returns the collected result."""
-        program_length = len(self.program.instructions)
-        self._note_block_entry(self.pc)
-        while self.pc < program_length:
-            if self.steps >= self.max_steps:
-                raise StepLimitExceeded(
-                    f"{self.program.name}: exceeded {self.max_steps} steps",
-                    snapshot=self.snapshot(),
-                    partial=self._result(halted=False),
-                )
-            instruction = self.program.instructions[self.pc]
-            if instruction.opcode == "halt":
-                self.steps += 1
-                self.scalar_cycles += 1
-                return self._result(halted=True)
-            self._step(instruction)
-        # Fell off the end without halt.
-        return self._result(halted=False)
+        while self.step():
+            pass
+        return self._result(halted=self._halted)
+
+    def step(self) -> bool:
+        """Execute one instruction.
+
+        Returns True while the program is still running; executing the
+        ``halt`` instruction (or falling off the end) returns False.
+        Step boundaries are the interpreter's checkpointable states.
+        """
+        if not self._started:
+            self._started = True
+            self._note_block_entry(self.pc)
+        if self._halted or self.pc >= len(self.program.instructions):
+            return False
+        if self.steps >= self.max_steps:
+            raise StepLimitExceeded(
+                f"{self.program.name}: exceeded {self.max_steps} steps",
+                snapshot=self.snapshot(),
+                partial=self._result(halted=False),
+            )
+        instruction = self.program.instructions[self.pc]
+        if instruction.opcode == "halt":
+            self.steps += 1
+            self.scalar_cycles += 1
+            self._halted = True
+            return False
+        self._step(instruction)
+        return self.pc < len(self.program.instructions)
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def result(self) -> InterpreterResult:
+        """The collected result of the run so far."""
+        return self._result(halted=self._halted)
 
     def _step(self, instruction: Instruction) -> None:
         self.steps += 1

@@ -89,6 +89,26 @@ class Memory:
         """All written words (for end-state comparison)."""
         return dict(self._words)
 
+    def state_dict(self) -> dict:
+        """The full memory image, JSON-native (string word addresses)."""
+        return {
+            "limit": self.limit,
+            "mapped_only": self.mapped_only,
+            "words": {
+                str(address): value
+                for address, value in sorted(self._words.items())
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> Memory:
+        """Rebuild a memory captured by :meth:`state_dict`."""
+        memory = cls(state["limit"], mapped_only=state["mapped_only"])
+        memory._words = {
+            int(address): value for address, value in state["words"].items()
+        }
+        return memory
+
     def clone(self) -> Memory:
         other = Memory(self.limit, mapped_only=self.mapped_only)
         other._words = dict(self._words)

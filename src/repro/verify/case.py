@@ -27,6 +27,10 @@ from repro.sim.memory import Memory
 CASE_SCHEMA = "repro-verify-case/v1"
 
 
+def _with_path(path, reason: str) -> str:
+    return f"{path}: {reason}" if path is not None else reason
+
+
 @dataclass
 class ReproCase:
     """One self-contained, replayable differential-check input."""
@@ -116,11 +120,21 @@ class ReproCase:
         }
 
     @classmethod
-    def from_dict(cls, document: dict) -> "ReproCase":
+    def from_dict(cls, document: dict, *, path=None) -> "ReproCase":
+        from repro.ckpt.state import schema_mismatch_message
+
+        if not isinstance(document, dict):
+            raise ValueError(
+                _with_path(path, "repro case must be a JSON object")
+            )
         schema = document.get("schema")
         if schema != CASE_SCHEMA:
             raise ValueError(
-                f"not a repro case: schema {schema!r} != {CASE_SCHEMA!r}"
+                _with_path(
+                    path,
+                    "not a repro case: "
+                    + schema_mismatch_message(schema, CASE_SCHEMA),
+                )
             )
         model = document["model"]
         from repro.verify.oracle import resolve_model
@@ -149,8 +163,14 @@ class ReproCase:
         return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
 
     @classmethod
-    def from_json(cls, text: str) -> "ReproCase":
-        return cls.from_dict(json.loads(text))
+    def from_json(cls, text: str, *, path=None) -> "ReproCase":
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                _with_path(path, f"not JSON ({error})")
+            ) from error
+        return cls.from_dict(document, path=path)
 
     def save(self, path: str | Path) -> Path:
         path = Path(path)
@@ -160,7 +180,16 @@ class ReproCase:
 
     @classmethod
     def load(cls, path: str | Path) -> "ReproCase":
-        return cls.from_json(Path(path).read_text())
+        """Read one case file.  Every failure mode -- unreadable file,
+        bad JSON, wrong schema -- reports the path plus the reason in a
+        :class:`ValueError`, never a raw traceback type."""
+        try:
+            text = Path(path).read_text()
+        except OSError as error:
+            raise ValueError(
+                _with_path(path, f"unreadable case ({error})")
+            ) from error
+        return cls.from_json(text, path=path)
 
     def instruction_count(self) -> int:
         return len(self.program().instructions)

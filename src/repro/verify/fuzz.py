@@ -24,6 +24,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.ckpt.journal import Journal
+from repro.ckpt.signals import SignalSupervisor
 from repro.machine.config import MachineConfig, base_machine, full_issue_machine
 from repro.obs.metrics import NULL_SINK, MetricsSink
 from repro.verify.case import ReproCase
@@ -175,15 +177,20 @@ class FuzzReport:
     total_recoveries: int = 0
     total_handled_faults: int = 0
     faulting_campaigns: int = 0
+    #: Campaigns replayed from a resume journal without re-execution.
+    #: Deliberately NOT part of :meth:`to_dict`, so a resumed run's
+    #: artifact stays byte-identical to an uninterrupted one.
+    replayed: int = 0
 
     @property
     def divergences(self) -> int:
         return len(self.findings)
 
     def summary(self) -> str:
+        resumed = f" ({self.replayed} replayed)" if self.replayed else ""
         lines = [
             f"fuzz: {self.campaigns} campaigns (seed {self.seed}, "
-            f"models {'/'.join(self.models)}): "
+            f"models {'/'.join(self.models)}){resumed}: "
             f"{self.equivalent} equivalent, {self.divergences} divergent",
             f"  coverage: {self.faulting_campaigns} campaigns with page "
             f"faults, {self.total_handled_faults} faults handled, "
@@ -221,6 +228,10 @@ class FuzzReport:
         }
 
 
+def _campaign_key(seed: int, index: int, models: tuple[str, ...]) -> str:
+    return f"fuzz:{seed}:{index}:{'/'.join(models)}"
+
+
 def run_fuzz(
     campaigns: int,
     seed: int,
@@ -231,6 +242,8 @@ def run_fuzz(
     machine_factory=None,
     sink: MetricsSink = NULL_SINK,
     progress=None,
+    journal: Journal | None = None,
+    supervisor: SignalSupervisor | None = None,
 ) -> FuzzReport:
     """Run *campaigns* differential campaigns derived from *seed*.
 
@@ -238,17 +251,46 @@ def run_fuzz(
     before serialization; with *out_dir*, each finding's case is saved as
     ``case-<seed>-<index>.json`` there.  *machine_factory* substitutes a
     (possibly deliberately broken) machine for every campaign.
+
+    With a *journal*, each completed campaign is ledgered; a resumed run
+    replays ledgered *equivalent* campaigns from their recorded counters
+    without re-execution (campaigns are seed-deterministic, so the
+    replayed counters are exactly what a re-run would produce), while
+    divergent campaigns re-execute to rebuild their findings.  With a
+    *supervisor*, a pending SIGINT/SIGTERM raises
+    :class:`~repro.ckpt.signals.ShutdownRequested` at the next campaign
+    boundary.
     """
     resolved = tuple(resolve_model(m) for m in (models or DEFAULT_MODELS))
     report = FuzzReport(seed=seed, campaigns=campaigns, models=resolved)
+    ledger = journal.completed() if journal is not None else {}
     for index in range(campaigns):
         spec = derive_campaign(seed, index, resolved)
-        case = build_case(spec)
+        key = _campaign_key(seed, index, resolved)
         if spec.unmap_fraction > 0.0:
             report.faulting_campaigns += 1
+        completed = ledger.get(key)
+        if completed is not None and completed.get("equivalent"):
+            report.equivalent += 1
+            report.total_recoveries += completed.get("recoveries", 0)
+            report.total_handled_faults += completed.get("machine_faults", 0)
+            report.replayed += 1
+            if sink.enabled:
+                sink.count("fuzz.campaigns.replayed")
+            continue
+        case = build_case(spec)
         result = case.run(machine_factory=machine_factory, sink=sink)
         if sink.enabled:
             sink.count("fuzz.campaigns")
+        if journal is not None:
+            journal.record(
+                key,
+                {
+                    "equivalent": result.equivalent,
+                    "recoveries": result.recoveries,
+                    "machine_faults": result.machine_faults,
+                },
+            )
         if result.equivalent:
             report.equivalent += 1
             report.total_recoveries += result.recoveries
@@ -273,4 +315,6 @@ def run_fuzz(
             report.findings.append(finding)
         if progress is not None:
             progress(spec, result)
+        if supervisor is not None and supervisor.pending is not None:
+            raise supervisor.shutdown()
     return report

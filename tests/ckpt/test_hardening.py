@@ -1,0 +1,193 @@
+"""Snapshot-loading hardening: every corrupt input fails loudly with
+the path and the reason, and directory scans degrade to the previous
+valid checkpoint instead of aborting."""
+
+import json
+
+import pytest
+
+from repro.ckpt.engine import (
+    CheckpointWriter,
+    latest_snapshot,
+    save,
+    write_snapshot,
+)
+from repro.ckpt.state import (
+    CKPT_SCHEMA,
+    CheckpointError,
+    load_snapshot,
+    restore_vliw,
+    validate_snapshot,
+)
+from repro.machine.config import base_machine, full_issue_machine
+from repro.verify.case import ReproCase
+
+from tests.ckpt.test_roundtrip import fresh_machine, recovery_program
+
+
+def snapshot_document() -> dict:
+    machine = fresh_machine()
+    for _ in range(3):
+        assert machine.step()
+    return save(machine)
+
+
+class TestLoadFailures:
+    def test_missing_file(self, tmp_path):
+        path = tmp_path / "nope.json"
+        with pytest.raises(CheckpointError) as excinfo:
+            load_snapshot(path)
+        assert str(path) in str(excinfo.value)
+        assert "unreadable" in excinfo.value.reason
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError) as excinfo:
+            load_snapshot(path)
+        assert str(path) in str(excinfo.value)
+        assert "not JSON" in excinfo.value.reason
+
+    def test_truncated_snapshot(self, tmp_path):
+        path = write_snapshot(snapshot_document(), tmp_path / "snap.json")
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # a kill mid-write
+        with pytest.raises(CheckpointError) as excinfo:
+            load_snapshot(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_bitflip_fails_integrity_hash(self, tmp_path):
+        document = snapshot_document()
+        document["state"]["cycle"] += 1  # silent corruption
+        path = write_snapshot(document, tmp_path / "snap.json")
+        with pytest.raises(CheckpointError) as excinfo:
+            load_snapshot(path)
+        assert "integrity hash mismatch" in excinfo.value.reason
+
+    def test_wrong_schema(self):
+        with pytest.raises(CheckpointError, match="schema mismatch"):
+            validate_snapshot({"schema": "repro-checkpoint/v0"})
+
+    def test_not_an_object(self):
+        with pytest.raises(CheckpointError, match="JSON object"):
+            validate_snapshot([1, 2, 3])
+
+    def test_missing_state(self):
+        with pytest.raises(CheckpointError, match="missing state"):
+            validate_snapshot(
+                {"schema": CKPT_SCHEMA, "engine": "vliw",
+                 "fingerprint": "x", "hash": "y"}
+            )
+
+
+class TestRestoreFailures:
+    def test_fingerprint_mismatch_on_different_config(self):
+        document = snapshot_document()
+        with pytest.raises(CheckpointError) as excinfo:
+            restore_vliw(
+                document, recovery_program(), full_issue_machine(8, 4)
+            )
+        assert "fingerprint mismatch" in excinfo.value.reason
+
+    def test_engine_mismatch(self):
+        from repro.ckpt.state import snapshot_interpreter
+
+        from tests.ckpt.test_roundtrip import fresh_interpreter
+
+        interp = fresh_interpreter()
+        assert interp.step()
+        document = snapshot_interpreter(interp)
+        with pytest.raises(CheckpointError, match="engine mismatch"):
+            restore_vliw(document, recovery_program(), base_machine())
+
+
+class TestLatestSnapshotDegradation:
+    def test_corrupt_newest_falls_back_to_previous_valid(self, tmp_path):
+        writer = CheckpointWriter(tmp_path)
+        machine = fresh_machine()
+        assert machine.step()
+        good = writer.write(save(machine), machine.cycle)
+        assert machine.step()
+        bad = writer.write(save(machine), machine.cycle)
+        bad.write_text(bad.read_text()[:40])  # torn newest snapshot
+
+        latest = latest_snapshot(tmp_path)
+        assert latest.found
+        assert latest.path == good
+        assert [path for path, _ in latest.skipped] == [str(bad)]
+        assert latest.skipped[0][1]  # a human-readable reason
+
+    def test_empty_directory(self, tmp_path):
+        latest = latest_snapshot(tmp_path / "missing")
+        assert not latest.found
+        assert latest.skipped == []
+
+    def test_all_corrupt_reports_every_skip(self, tmp_path):
+        writer = CheckpointWriter(tmp_path)
+        machine = fresh_machine()
+        for _ in range(2):
+            assert machine.step()
+            writer.write(save(machine), machine.cycle)
+        for path in tmp_path.glob("ckpt-*.json"):
+            path.write_text("{}")
+        latest = latest_snapshot(tmp_path)
+        assert not latest.found
+        assert len(latest.skipped) == 2
+
+
+class TestWriterRotation:
+    def test_keeps_only_last_n(self, tmp_path):
+        writer = CheckpointWriter(tmp_path, keep=2)
+        machine = fresh_machine()
+        written = []
+        for _ in range(4):
+            assert machine.step()
+            written.append(writer.write(save(machine), machine.cycle))
+        remaining = sorted(tmp_path.glob("ckpt-*.json"))
+        assert remaining == sorted(written[-2:])
+        assert not list(tmp_path.glob("*.tmp"))  # atomic, no debris
+
+    def test_final_snapshot_outside_rotation(self, tmp_path):
+        writer = CheckpointWriter(tmp_path, keep=1)
+        machine = fresh_machine()
+        assert machine.step()
+        writer.write(save(machine), machine.cycle)
+        final = writer.write_final(save(machine))
+        assert machine.step()
+        writer.write(save(machine), machine.cycle)
+        assert final.exists()
+        latest = latest_snapshot(tmp_path)
+        assert latest.path == final  # final wins over the rotation
+
+
+class TestReproCaseHardening:
+    """The same path+reason discipline applied to repro-case files."""
+
+    def test_missing_file(self, tmp_path):
+        path = tmp_path / "case.json"
+        with pytest.raises(ValueError) as excinfo:
+            ReproCase.load(path)
+        assert str(path) in str(excinfo.value)
+        assert "unreadable" in str(excinfo.value)
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "case.json"
+        path.write_text("]{")
+        with pytest.raises(ValueError) as excinfo:
+            ReproCase.load(path)
+        assert str(path) in str(excinfo.value)
+        assert "not JSON" in str(excinfo.value)
+
+    def test_wrong_schema_names_both(self, tmp_path):
+        path = tmp_path / "case.json"
+        path.write_text(json.dumps({"schema": "repro-checkpoint/v1"}))
+        with pytest.raises(ValueError) as excinfo:
+            ReproCase.load(path)
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "repro-checkpoint/v1" in message
+        assert "repro-verify-case/v1" in message
+
+    def test_non_object_document(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            ReproCase.from_json("[1, 2]")

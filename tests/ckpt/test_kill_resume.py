@@ -1,0 +1,143 @@
+"""Kill-and-resume: SIGKILL a journalled sweep mid-cell, resume it, and
+get the byte-identical artifact with zero re-execution of finished work.
+
+The sweep's fourth cell is a ``wait_for`` chaos cell that blocks until a
+sentinel file appears, which parks the first run mid-cell
+deterministically; the run is then SIGKILLed -- no handlers, no flushes,
+the hardest crash there is.  The resume run pre-creates the sentinel, so
+the same spec completes.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+DRIVER = """
+import json, sys
+from repro.ckpt import Journal
+from repro.eval import ExperimentContext
+from repro.eval.runner import CellSpec
+
+journal_dir, sentinel, out = sys.argv[1:4]
+specs = (
+    [
+        CellSpec(kind="chaos", extras=(("mode", "ok"), ("value", i)))
+        for i in range(3)
+    ]
+    + [
+        CellSpec(
+            kind="chaos",
+            extras=(
+                ("mode", "wait_for"),
+                ("path", sentinel),
+                ("timeout", 30.0),
+                ("value", 99),
+            ),
+        )
+    ]
+    + [CellSpec(kind="chaos", extras=(("mode", "ok"), ("value", 7)))]
+)
+with Journal(journal_dir) as journal:
+    ctx = ExperimentContext(journal=journal)
+    results = ctx.run_cells(specs)
+    stats = ctx.runner.stats
+with open(out, "w") as f:
+    json.dump(results, f, sort_keys=True, separators=(",", ":"))
+with open(out + ".stats", "w") as f:
+    json.dump(
+        {
+            "ledger_hits": stats.ledger_hits,
+            "misses": stats.misses,
+            "hits": stats.hits,
+        },
+        f,
+    )
+"""
+
+
+def run_driver(tmp_path, journal, sentinel, out, wait=True):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    driver = tmp_path / "driver.py"
+    driver.write_text(DRIVER)
+    process = subprocess.Popen(
+        [sys.executable, str(driver), str(journal), str(sentinel), str(out)],
+        env=env,
+        cwd=str(tmp_path),
+    )
+    if wait:
+        assert process.wait(timeout=60) == 0
+    return process
+
+
+def wait_for_ledger(journal: Path, lines: int, timeout: float = 30.0):
+    ledger = journal / "ledger.jsonl"
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if ledger.exists():
+            complete = [
+                line
+                for line in ledger.read_text().splitlines()
+                if line.strip().endswith("}")
+            ]
+            if len(complete) >= lines:
+                return
+        time.sleep(0.05)
+    pytest.fail(f"ledger never reached {lines} entries")
+
+
+class TestKillAndResume:
+    def test_sigkill_resume_is_byte_identical_with_zero_reexecution(
+        self, tmp_path
+    ):
+        journal = tmp_path / "journal"
+        sentinel = tmp_path / "sentinel"
+        killed_out = tmp_path / "killed.json"
+
+        # Run 1: SIGKILL while parked inside the fourth cell.  The first
+        # three cells are durably ledgered; nothing else survives.
+        process = run_driver(
+            tmp_path, journal, sentinel, killed_out, wait=False
+        )
+        try:
+            wait_for_ledger(journal, 3)
+        finally:
+            process.send_signal(signal.SIGKILL)
+        assert process.wait(timeout=30) == -signal.SIGKILL
+        assert not killed_out.exists()  # the sweep never finished
+
+        # Run 2: same journal, sentinel pre-created -- the resume.
+        sentinel.touch()
+        resumed_out = tmp_path / "resumed.json"
+        run_driver(tmp_path, journal, sentinel, resumed_out)
+        stats = json.loads((tmp_path / "resumed.json.stats").read_text())
+        assert stats["ledger_hits"] == 3  # replayed, not re-executed
+        assert stats["misses"] == 2  # only the unfinished cells ran
+        assert stats["hits"] == 0
+
+        # Reference: an uninterrupted run in a fresh journal.
+        clean_out = tmp_path / "clean.json"
+        run_driver(tmp_path, tmp_path / "journal2", sentinel, clean_out)
+        assert resumed_out.read_bytes() == clean_out.read_bytes()
+
+    def test_resumed_sweep_needs_no_third_run(self, tmp_path):
+        """After a completed journalled sweep, a re-run replays every
+        cell from the ledger -- the fully-warm path."""
+        journal = tmp_path / "journal"
+        sentinel = tmp_path / "sentinel"
+        sentinel.touch()
+        run_driver(tmp_path, journal, sentinel, tmp_path / "first.json")
+        run_driver(tmp_path, journal, sentinel, tmp_path / "second.json")
+        stats = json.loads((tmp_path / "second.json.stats").read_text())
+        assert stats["ledger_hits"] == 5
+        assert stats["misses"] == 0
+        assert (tmp_path / "first.json").read_bytes() == (
+            tmp_path / "second.json"
+        ).read_bytes()

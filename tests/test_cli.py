@@ -251,6 +251,124 @@ class TestVerifyCli:
         assert "replaying" in out and "EQUIVALENT" in out
 
 
+class TestCkptCli:
+    def snapshot(self, tmp_path):
+        from repro.ckpt import save, write_snapshot
+
+        from tests.ckpt.test_roundtrip import fresh_machine
+
+        machine = fresh_machine()
+        for _ in range(3):
+            assert machine.step()
+        return write_snapshot(save(machine), tmp_path / "snap.json")
+
+    def test_inspect_json(self, tmp_path, capsys):
+        path = self.snapshot(tmp_path)
+        assert main(["ckpt", "inspect", str(path)]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["engine"] == "vliw"
+        assert info["hash_valid"] is True
+        assert info["cycle"] == 3
+
+    def test_inspect_summary(self, tmp_path, capsys):
+        path = self.snapshot(tmp_path)
+        assert main(["ckpt", "inspect", str(path), "--summary"]) == 0
+        line = capsys.readouterr().out.strip()
+        assert line.startswith("ckpt engine=vliw")
+        assert "hash=ok" in line
+
+    def test_inspect_corrupt_snapshot_exits_nonzero(self, tmp_path, capsys):
+        path = self.snapshot(tmp_path)
+        document = json.loads(path.read_text())
+        document["state"]["cycle"] = 999  # silent tamper
+        path.write_text(json.dumps(document))
+        assert main(["ckpt", "inspect", str(path), "--summary"]) == 1
+        captured = capsys.readouterr()
+        assert "hash=INVALID" in captured.out
+        assert "integrity hash mismatch" in captured.err
+
+    def test_inspect_missing_file(self, tmp_path, capsys):
+        assert main(["ckpt", "inspect", str(tmp_path / "nope.json")]) == 2
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_exec_writes_and_resumes_checkpoints(self, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpt"
+        assert (
+            main(["exec", "li", "--checkpoint-dir", str(ckpt_dir),
+                  "--checkpoint-every", "25"])
+            == 0
+        )
+        first = capsys.readouterr().out
+        assert list(ckpt_dir.glob("ckpt-*.json"))
+        assert (
+            main(["exec", "li", "--checkpoint-dir", str(ckpt_dir),
+                  "--checkpoint-every", "25", "--resume"])
+            == 0
+        )
+        resumed = capsys.readouterr()
+        assert "[ckpt] resumed" in resumed.err
+        assert resumed.out == first  # bit-identical continuation
+
+    def test_exec_resume_requires_checkpoint_dir(self, capsys):
+        assert main(["exec", "li", "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_profile_resume_preserves_counters(self, tmp_path, capsys):
+        target = tmp_path / "full.json"
+        assert main(["profile", "li", "--json", str(target)]) == 0
+        capsys.readouterr()
+        full = json.loads(target.read_text())
+
+        ckpt_dir = tmp_path / "ckpt"
+        assert (
+            main(["profile", "li", "--checkpoint-dir", str(ckpt_dir),
+                  "--checkpoint-every", "25"])
+            == 0
+        )
+        capsys.readouterr()
+        resumed_target = tmp_path / "resumed.json"
+        assert (
+            main(["profile", "li", "--checkpoint-dir", str(ckpt_dir),
+                  "--resume", "--json", str(resumed_target)])
+            == 0
+        )
+        resumed = json.loads(resumed_target.read_text())
+        assert resumed["metrics"] == full["metrics"]
+        assert resumed["machine_cycles"] == full["machine_cycles"]
+
+    def test_experiment_journal_resume_byte_identical(self, tmp_path, capsys):
+        journal = tmp_path / "journal"
+        args = ["experiment", "table2", "--no-cache", "--quiet",
+                "--journal", str(journal)]
+        first = tmp_path / "first"
+        assert main(args + ["--json", str(first)]) == 0
+        capsys.readouterr()
+        second = tmp_path / "second"
+        assert main(args + ["--resume", "--json", str(second)]) == 0
+        assert (first / "table2.json").read_bytes() == (
+            second / "table2.json"
+        ).read_bytes()
+
+    def test_experiment_resume_requires_journal(self, capsys):
+        assert main(["experiment", "table2", "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_fuzz_journal_resume_replays(self, tmp_path, capsys):
+        journal = tmp_path / "journal"
+        args = ["fuzz", "--campaigns", "4", "--seed", "1",
+                "--journal", str(journal)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "(4 replayed)" in out
+        assert "4 equivalent" in out
+
+    def test_fuzz_resume_requires_journal(self, capsys):
+        assert main(["fuzz", "--campaigns", "1", "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+
 class TestFuzzCli:
     def test_fuzz_clean_run(self, capsys):
         assert main(["fuzz", "--campaigns", "5", "--seed", "0"]) == 0
