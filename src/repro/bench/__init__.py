@@ -1,0 +1,70 @@
+"""Simulator performance benchmarking and regression gating.
+
+``harness`` does the steady-state timing, ``suites`` registers the
+micro/macro benchmark bodies, ``artifact`` defines the
+``repro-bench/v1`` JSON envelope, and ``gate`` compares two artifacts
+and decides pass/fail.  Driven by ``repro bench run`` / ``repro bench
+compare``; methodology in DESIGN.md §10.
+"""
+
+from repro.bench.artifact import (
+    SCHEMA,
+    BenchArtifactError,
+    dumps_artifact,
+    host_fingerprint,
+    load_artifact,
+    make_artifact,
+    merge_artifacts,
+    validate_artifact,
+    write_artifact,
+)
+from repro.bench.gate import (
+    DEFAULT_THRESHOLD,
+    Comparison,
+    Delta,
+    compare_artifacts,
+    render_table,
+)
+from repro.bench.harness import (
+    Measurement,
+    TimingStats,
+    reject_outliers,
+    run_measurement,
+    summarize,
+    time_iterations,
+)
+from repro.bench.suites import (
+    MACRO_MODELS,
+    SUITES,
+    BenchDef,
+    all_benchmarks,
+    get_benchmark,
+)
+
+__all__ = [
+    "SCHEMA",
+    "BenchArtifactError",
+    "dumps_artifact",
+    "host_fingerprint",
+    "load_artifact",
+    "make_artifact",
+    "merge_artifacts",
+    "validate_artifact",
+    "write_artifact",
+    "DEFAULT_THRESHOLD",
+    "Comparison",
+    "Delta",
+    "compare_artifacts",
+    "render_table",
+    "Measurement",
+    "TimingStats",
+    "reject_outliers",
+    "run_measurement",
+    "summarize",
+    "time_iterations",
+    "MACRO_MODELS",
+    "SUITES",
+    "BenchDef",
+    "all_benchmarks",
+    "get_benchmark",
+]

@@ -1,0 +1,231 @@
+"""Versioned JSON artifacts for benchmark results (``repro-bench/v1``).
+
+The envelope::
+
+    {
+      "schema": "repro-bench/v1",
+      "quick": false,                # --quick iteration counts in effect
+      "host": {                      # where the numbers were taken
+        "python": "3.12.3",
+        "implementation": "CPython",
+        "platform": "Linux-...-x86_64",
+        "machine": "x86_64",
+        "cpu_count": 8
+      },
+      "benchmarks": {
+        "macro.compress.region_pred": {
+          "suite": "macro",
+          "unit": "cycles",
+          "iterations": 7,
+          "warmup": 2,
+          "work_per_iteration": 12345,
+          "ns": {"samples":..,"rejected":..,"min":..,"median":..,
+                 "mean":..,"stdev":..,"ci95":..},
+          "throughput": {"unit": "cycles/sec", "median":.., "best":..}
+        },
+        ...
+      }
+    }
+
+Host fingerprints make cross-machine comparisons honest: the gate
+(:mod:`repro.bench.gate`) warns when OLD and NEW were taken on
+different hosts, because a delta between hosts measures the hardware,
+not the code.  Serialization is canonical (sorted keys, two-space
+indent, trailing newline) like every other artifact in the repo, so
+``BENCH_*.json`` files diff cleanly in version control.  Raw samples
+are deliberately *not* persisted -- the summary statistics are the
+contract; raw nanoseconds would churn every commit.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+from pathlib import Path
+
+from repro.bench.harness import Measurement
+
+#: Envelope identifier; bump the suffix on breaking payload changes.
+SCHEMA = "repro-bench/v1"
+
+_STATS_KEYS = frozenset(
+    {"samples", "rejected", "min", "median", "mean", "stdev", "ci95"}
+)
+_THROUGHPUT_KEYS = frozenset({"unit", "median", "best"})
+_RECORD_KEYS = frozenset(
+    {"suite", "unit", "iterations", "warmup", "work_per_iteration", "ns",
+     "throughput"}
+)
+
+
+class BenchArtifactError(ValueError):
+    """A bench artifact document violates the schema."""
+
+
+def host_fingerprint() -> dict:
+    """Identify the machine the numbers were taken on."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def _check_number(record_name: str, path: str, value, *, integer=False):
+    kinds = (int,) if integer else (int, float)
+    if isinstance(value, bool) or not isinstance(value, kinds):
+        raise BenchArtifactError(
+            f"{record_name}: {path} must be a number, got {value!r}"
+        )
+    if isinstance(value, float) and not math.isfinite(value):
+        raise BenchArtifactError(
+            f"{record_name}: {path} is non-finite ({value!r})"
+        )
+    if value < 0:
+        raise BenchArtifactError(
+            f"{record_name}: {path} is negative ({value!r})"
+        )
+
+
+def _check_record(name: str, record: object) -> None:
+    if not isinstance(record, dict) or set(record) != _RECORD_KEYS:
+        raise BenchArtifactError(
+            f"benchmark {name!r}: record keys must be "
+            f"{sorted(_RECORD_KEYS)}"
+        )
+    if not isinstance(record["suite"], str) or not record["suite"]:
+        raise BenchArtifactError(f"benchmark {name!r}: bad suite")
+    if not isinstance(record["unit"], str) or not record["unit"]:
+        raise BenchArtifactError(f"benchmark {name!r}: bad unit")
+    for key in ("iterations", "warmup", "work_per_iteration"):
+        _check_number(name, key, record[key], integer=True)
+    if record["iterations"] < 1:
+        raise BenchArtifactError(f"benchmark {name!r}: iterations < 1")
+    if record["work_per_iteration"] < 1:
+        raise BenchArtifactError(
+            f"benchmark {name!r}: work_per_iteration < 1"
+        )
+    stats = record["ns"]
+    if not isinstance(stats, dict) or set(stats) != _STATS_KEYS:
+        raise BenchArtifactError(
+            f"benchmark {name!r}: ns keys must be {sorted(_STATS_KEYS)}"
+        )
+    for key, value in stats.items():
+        _check_number(name, f"ns.{key}", value)
+    if stats["median"] <= 0:
+        raise BenchArtifactError(f"benchmark {name!r}: ns.median <= 0")
+    throughput = record["throughput"]
+    if not isinstance(throughput, dict) or set(throughput) != _THROUGHPUT_KEYS:
+        raise BenchArtifactError(
+            f"benchmark {name!r}: throughput keys must be "
+            f"{sorted(_THROUGHPUT_KEYS)}"
+        )
+    if throughput["unit"] != f"{record['unit']}/sec":
+        raise BenchArtifactError(
+            f"benchmark {name!r}: throughput unit "
+            f"{throughput['unit']!r} does not match unit {record['unit']!r}"
+        )
+    for key in ("median", "best"):
+        _check_number(name, f"throughput.{key}", throughput[key])
+
+
+def validate_artifact(document: object) -> None:
+    """Raise :class:`BenchArtifactError` unless *document* is valid."""
+    if not isinstance(document, dict):
+        raise BenchArtifactError("bench artifact must be a JSON object")
+    if document.get("schema") != SCHEMA:
+        raise BenchArtifactError(
+            f"schema mismatch: {document.get('schema')!r} != {SCHEMA!r}"
+        )
+    if not isinstance(document.get("quick"), bool):
+        raise BenchArtifactError("quick must be a boolean")
+    host = document.get("host")
+    if not isinstance(host, dict) or not host:
+        raise BenchArtifactError("host must be a non-empty object")
+    for key in ("python", "implementation", "platform", "machine"):
+        if not isinstance(host.get(key), str) or not host[key]:
+            raise BenchArtifactError(f"host.{key} must be a non-empty string")
+    if not isinstance(host.get("cpu_count"), int) or host["cpu_count"] < 1:
+        raise BenchArtifactError("host.cpu_count must be a positive integer")
+    benchmarks = document.get("benchmarks")
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        raise BenchArtifactError("benchmarks must be a non-empty object")
+    for name, record in benchmarks.items():
+        if not isinstance(name, str) or not name:
+            raise BenchArtifactError("benchmark names must be strings")
+        _check_record(name, record)
+
+
+def make_artifact(
+    measurements: list[Measurement], *, quick: bool = False
+) -> dict:
+    """Build (and validate) the bench artifact for *measurements*."""
+    if not measurements:
+        raise BenchArtifactError("no measurements to record")
+    names = [m.name for m in measurements]
+    if len(set(names)) != len(names):
+        raise BenchArtifactError("duplicate benchmark names in run")
+    document = {
+        "schema": SCHEMA,
+        "quick": quick,
+        "host": host_fingerprint(),
+        "benchmarks": {m.name: m.to_dict() for m in measurements},
+    }
+    validate_artifact(document)
+    return document
+
+
+def merge_artifacts(base: dict, overlay: dict) -> dict:
+    """Merge two runs from the *same host*: overlay's benchmarks win.
+
+    Lets a slow macro run be refreshed without re-running micro (or a
+    single benchmark be re-measured into an existing artifact).  The
+    result is re-validated; merging runs from different hosts is
+    refused because the combined numbers would be incomparable.
+    """
+    validate_artifact(base)
+    validate_artifact(overlay)
+    if base["host"] != overlay["host"]:
+        raise BenchArtifactError(
+            "refusing to merge artifacts from different hosts"
+        )
+    if base["quick"] != overlay["quick"]:
+        raise BenchArtifactError(
+            "refusing to merge quick and full-length artifacts"
+        )
+    merged = {
+        "schema": SCHEMA,
+        "quick": overlay["quick"],
+        "host": overlay["host"],
+        "benchmarks": {**base["benchmarks"], **overlay["benchmarks"]},
+    }
+    validate_artifact(merged)
+    return merged
+
+
+def dumps_artifact(document: dict) -> str:
+    """Canonical serialization: deterministic bytes for identical data."""
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+def write_artifact(path: str | Path, document: dict) -> Path:
+    """Validate and write *document* to *path*; returns the path."""
+    validate_artifact(document)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps_artifact(document))
+    return path
+
+
+def load_artifact(path: str | Path) -> dict:
+    """Read and validate a bench artifact document."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise BenchArtifactError(f"{path}: not JSON ({error})") from error
+    validate_artifact(document)
+    return document

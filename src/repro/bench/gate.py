@@ -1,0 +1,189 @@
+"""The regression gate: compare two bench artifacts benchmark by benchmark.
+
+The decision variable is the **median wall time** per iteration, the
+most noise-resistant of the reported statistics (min is gameable by a
+single lucky sample; mean drags in scheduler tails that MAD rejection
+already tried to clip).  For each benchmark present in both artifacts::
+
+    ratio = new_median_ns / old_median_ns
+
+    ratio > 1 + threshold  ->  regression   (gate fails)
+    ratio < 1 - threshold  ->  improvement  (reported, gate passes)
+    otherwise              ->  ok           (within noise)
+
+Benchmarks present in only one artifact are reported as ``added`` /
+``removed`` and never fail the gate -- growing the suite must not be
+punished.  Comparing artifacts recorded on different hosts, or a
+``--quick`` run against a full-length one, is legal but loudly flagged:
+such deltas measure the environment, not the code.
+
+:func:`render_table` prints the per-benchmark delta table the CLI
+shows; :func:`Comparison.failed` is what drives the non-zero exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default noise tolerance: 10% on the median.
+DEFAULT_THRESHOLD = 0.10
+
+#: Per-benchmark statuses, in the order the table groups them.
+STATUSES = ("regression", "improvement", "ok", "added", "removed")
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One benchmark's old-vs-new comparison."""
+
+    name: str
+    status: str  # one of STATUSES
+    old_median_ns: float | None
+    new_median_ns: float | None
+    ratio: float | None  # new/old; None when only one side exists
+
+    @property
+    def speedup(self) -> float | None:
+        """old/new -- >1 means the new code is faster."""
+        if self.ratio in (None, 0):
+            return None
+        return 1.0 / self.ratio
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """The full gate verdict for an OLD -> NEW artifact pair."""
+
+    threshold: float
+    deltas: tuple[Delta, ...]
+    host_mismatch: bool
+    quick_mismatch: bool
+
+    @property
+    def regressions(self) -> tuple[Delta, ...]:
+        return tuple(d for d in self.deltas if d.status == "regression")
+
+    @property
+    def improvements(self) -> tuple[Delta, ...]:
+        return tuple(d for d in self.deltas if d.status == "improvement")
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.regressions)
+
+    def counts(self) -> dict[str, int]:
+        tally = {status: 0 for status in STATUSES}
+        for delta in self.deltas:
+            tally[delta.status] += 1
+        return tally
+
+
+def classify(
+    old_median_ns: float, new_median_ns: float, threshold: float
+) -> str:
+    """Classify one benchmark's median shift against *threshold*."""
+    if new_median_ns > old_median_ns * (1.0 + threshold):
+        return "regression"
+    if new_median_ns < old_median_ns * (1.0 - threshold):
+        return "improvement"
+    return "ok"
+
+
+def compare_artifacts(
+    old: dict, new: dict, *, threshold: float = DEFAULT_THRESHOLD
+) -> Comparison:
+    """Compare two validated ``repro-bench/v1`` documents."""
+    if not 0 < threshold < 1:
+        raise ValueError("threshold must be in (0, 1)")
+    old_benchmarks = old["benchmarks"]
+    new_benchmarks = new["benchmarks"]
+    deltas: list[Delta] = []
+    for name in sorted(set(old_benchmarks) | set(new_benchmarks)):
+        old_record = old_benchmarks.get(name)
+        new_record = new_benchmarks.get(name)
+        if old_record is None:
+            deltas.append(
+                Delta(name, "added", None, new_record["ns"]["median"], None)
+            )
+            continue
+        if new_record is None:
+            deltas.append(
+                Delta(name, "removed", old_record["ns"]["median"], None, None)
+            )
+            continue
+        old_median = old_record["ns"]["median"]
+        new_median = new_record["ns"]["median"]
+        deltas.append(
+            Delta(
+                name,
+                classify(old_median, new_median, threshold),
+                old_median,
+                new_median,
+                new_median / old_median,
+            )
+        )
+    return Comparison(
+        threshold=threshold,
+        deltas=tuple(deltas),
+        host_mismatch=old["host"] != new["host"],
+        quick_mismatch=old["quick"] != new["quick"],
+    )
+
+
+def _format_ns(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value >= 1e9:
+        return f"{value / 1e9:.3f}s"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}ms"
+    if value >= 1e3:
+        return f"{value / 1e3:.2f}us"
+    return f"{value:.0f}ns"
+
+
+_MARKS = {
+    "regression": "!",
+    "improvement": "+",
+    "ok": " ",
+    "added": "A",
+    "removed": "R",
+}
+
+
+def render_table(comparison: Comparison) -> str:
+    """The per-benchmark delta table, regressions first."""
+    lines = [
+        f"{'':1} {'benchmark':<34} {'old median':>10} {'new median':>10} "
+        f"{'delta':>8}  status"
+    ]
+    ordered = sorted(
+        comparison.deltas,
+        key=lambda d: (STATUSES.index(d.status), d.name),
+    )
+    for delta in ordered:
+        if delta.ratio is None:
+            shift = "-"
+        else:
+            shift = f"{(delta.ratio - 1.0) * 100:+.1f}%"
+        lines.append(
+            f"{_MARKS[delta.status]:1} {delta.name:<34} "
+            f"{_format_ns(delta.old_median_ns):>10} "
+            f"{_format_ns(delta.new_median_ns):>10} "
+            f"{shift:>8}  {delta.status}"
+        )
+    tally = comparison.counts()
+    summary = ", ".join(
+        f"{count} {status}" for status, count in tally.items() if count
+    )
+    lines.append(f"threshold ±{comparison.threshold:.0%}: {summary}")
+    if comparison.host_mismatch:
+        lines.append(
+            "warning: artifacts were recorded on different hosts -- "
+            "deltas reflect the environment, not just the code"
+        )
+    if comparison.quick_mismatch:
+        lines.append(
+            "warning: comparing a --quick run against a full-length run"
+        )
+    return "\n".join(lines)

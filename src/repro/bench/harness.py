@@ -1,0 +1,212 @@
+"""Steady-state timing harness for the simulator benchmarks.
+
+The repo's value scales with how many simulated cycles per second the
+Python engines deliver, so measurements must be trustworthy enough to
+gate regressions on.  The harness therefore follows the standard
+steady-state recipe:
+
+* **warmup iterations** run the benchmark body before any sample is
+  recorded, so allocator warmup, bytecode specialization and cold
+  caches are not charged to the first timed sample;
+* the **garbage collector is pinned off** during the timed section
+  (restored afterwards), so a collection triggered by an earlier test
+  cannot land inside one sample and masquerade as a regression;
+* samples are cleaned by **MAD-based outlier rejection** (modified
+  z-score over the median absolute deviation -- robust against the
+  asymmetric, long-right-tail noise of shared CI runners);
+* the report carries **min / median / mean ± CI** wall times *and* the
+  domain throughput (simulated cycles/sec, interpreter steps/sec,
+  compiled ops/sec), because "cycles per second" is the quantity the
+  ROADMAP north-star talks about, not milliseconds of Python.
+
+Timing uses :func:`time.perf_counter_ns` -- the same clock (and unit)
+the experiment runner's per-cell telemetry reports, so bench numbers
+and runner numbers compare directly.
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+#: Modified z-score threshold for MAD outlier rejection (the customary
+#: Iglewicz--Hoaglin cutoff).
+MAD_Z_THRESHOLD = 3.5
+
+#: Scale factor making the MAD a consistent estimator of the standard
+#: deviation under normality (1 / Phi^-1(3/4)).
+MAD_SCALE = 1.4826
+
+#: Student-t is overkill for n >= 5 samples; the normal quantile is the
+#: customary CI multiplier for benchmark reporting.
+CI95_Z = 1.96
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Robust summary of one benchmark's kept samples (nanoseconds)."""
+
+    samples: int
+    rejected: int
+    min: int
+    median: float
+    mean: float
+    stdev: float
+    ci95: float
+
+    def to_dict(self) -> dict:
+        return {
+            "samples": self.samples,
+            "rejected": self.rejected,
+            "min": self.min,
+            "median": self.median,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "ci95": self.ci95,
+        }
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One benchmark's complete measurement: timing + domain throughput."""
+
+    name: str
+    suite: str
+    unit: str  # the domain work unit: "cycles", "steps", "ops", ...
+    iterations: int
+    warmup: int
+    work_per_iteration: int
+    ns: TimingStats
+    raw_ns: tuple[int, ...] = field(repr=False)
+
+    @property
+    def throughput_median(self) -> float:
+        """Work units per second at the median sample."""
+        return self.work_per_iteration / (self.ns.median / 1e9)
+
+    @property
+    def throughput_best(self) -> float:
+        """Work units per second at the fastest sample."""
+        return self.work_per_iteration / (self.ns.min / 1e9)
+
+    def to_dict(self) -> dict:
+        """The ``repro-bench/v1`` per-benchmark record."""
+        return {
+            "suite": self.suite,
+            "unit": self.unit,
+            "iterations": self.iterations,
+            "warmup": self.warmup,
+            "work_per_iteration": self.work_per_iteration,
+            "ns": self.ns.to_dict(),
+            "throughput": {
+                "unit": f"{self.unit}/sec",
+                "median": self.throughput_median,
+                "best": self.throughput_best,
+            },
+        }
+
+
+def reject_outliers(samples: list[int]) -> tuple[list[int], int]:
+    """Drop samples whose modified z-score exceeds the MAD cutoff.
+
+    Returns ``(kept, rejected_count)``.  With a zero MAD (identical
+    samples up to clock resolution) every sample is kept -- there is no
+    spread to judge outliers against.
+    """
+    if len(samples) < 3:
+        return list(samples), 0
+    med = statistics.median(samples)
+    mad = statistics.median(abs(sample - med) for sample in samples)
+    if mad == 0:
+        return list(samples), 0
+    cutoff = MAD_Z_THRESHOLD * MAD_SCALE * mad
+    kept = [sample for sample in samples if abs(sample - med) <= cutoff]
+    return kept, len(samples) - len(kept)
+
+
+def summarize(samples: list[int]) -> TimingStats:
+    """MAD-clean *samples* (nanoseconds) and summarize the survivors."""
+    if not samples:
+        raise ValueError("cannot summarize an empty sample set")
+    kept, rejected = reject_outliers(samples)
+    mean = statistics.fmean(kept)
+    stdev = statistics.stdev(kept) if len(kept) > 1 else 0.0
+    return TimingStats(
+        samples=len(kept),
+        rejected=rejected,
+        min=min(kept),
+        median=statistics.median(kept),
+        mean=mean,
+        stdev=stdev,
+        ci95=CI95_Z * stdev / len(kept) ** 0.5 if len(kept) > 1 else 0.0,
+    )
+
+
+def time_iterations(
+    fn: Callable[[], int], iterations: int, warmup: int
+) -> tuple[list[int], int]:
+    """Run *fn* ``warmup + iterations`` times; time the last *iterations*.
+
+    *fn* returns its work-unit count (simulated cycles, interpreter
+    steps, ...).  The simulators are deterministic, so every iteration
+    must report the same work; a drift is a bug in the benchmark body
+    and raises immediately rather than silently skewing throughput.
+
+    GC is disabled around the timed section and restored afterwards.
+    """
+    work: int | None = None
+    for _ in range(warmup):
+        work = fn()
+    samples: list[int] = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(iterations):
+            start = time.perf_counter_ns()
+            iteration_work = fn()
+            samples.append(time.perf_counter_ns() - start)
+            if work is None:
+                work = iteration_work
+            elif iteration_work != work:
+                raise RuntimeError(
+                    f"benchmark work drifted between iterations: "
+                    f"{iteration_work} != {work}"
+                )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+            gc.collect()
+    assert work is not None
+    return samples, work
+
+
+def run_measurement(
+    *,
+    name: str,
+    suite: str,
+    unit: str,
+    fn: Callable[[], int],
+    iterations: int,
+    warmup: int,
+) -> Measurement:
+    """Measure one benchmark body end to end."""
+    if iterations < 1:
+        raise ValueError("need at least one timed iteration")
+    samples, work = time_iterations(fn, iterations, warmup)
+    if work <= 0:
+        raise RuntimeError(
+            f"benchmark {name!r} reported non-positive work: {work}"
+        )
+    return Measurement(
+        name=name,
+        suite=suite,
+        unit=unit,
+        iterations=iterations,
+        warmup=warmup,
+        work_per_iteration=work,
+        ns=summarize(samples),
+        raw_ns=tuple(samples),
+    )

@@ -30,6 +30,13 @@ Commands:
 * ``ckpt``       -- checkpoint tooling; ``ckpt inspect SNAP.json``
   prints a snapshot's engine, position, occupancy and hash validity
   (``--summary`` for the grep-able one-line form).
+* ``bench``      -- simulator performance measurement.  ``bench run
+  [--suite micro|macro|all] [--quick] [--json OUT]`` times the
+  registered benchmarks (steady-state harness: warmup, GC pinned off,
+  MAD outlier rejection) and writes a ``repro-bench/v1`` artifact;
+  ``bench compare OLD NEW [--threshold 0.10] [--warn-only]`` prints
+  the per-benchmark delta table and exits 1 on regressions beyond the
+  threshold.
 
 Resumability: ``exec`` and ``profile`` take ``--checkpoint-dir`` /
 ``--checkpoint-every`` / ``--resume`` (periodic machine snapshots,
@@ -567,6 +574,71 @@ def cmd_ckpt(args) -> int:
     return 0 if hash_ok else 1
 
 
+def cmd_bench(args) -> int:
+    from repro import bench
+
+    if args.bench_command == "run":
+        try:
+            benchmarks = bench.all_benchmarks(
+                args.suite, filter_substring=args.filter
+            )
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+        if not benchmarks:
+            print(
+                f"no benchmarks match suite={args.suite!r} "
+                f"filter={args.filter!r}",
+                file=sys.stderr,
+            )
+            return 2
+        measurements = []
+        for definition in benchmarks:
+            measurement = definition.run(quick=args.quick)
+            measurements.append(measurement)
+            stats = measurement.ns
+            print(
+                f"{measurement.name:<34} "
+                f"median {stats.median / 1e6:>9.3f}ms  "
+                f"min {stats.min / 1e6:>9.3f}ms  "
+                f"mean {stats.mean / 1e6:.3f}±{stats.ci95 / 1e6:.3f}ms  "
+                f"{measurement.throughput_median:>12,.0f} "
+                f"{measurement.unit}/sec"
+                + (f"  [{stats.rejected} outliers]" if stats.rejected else "")
+            )
+        document = bench.make_artifact(measurements, quick=args.quick)
+        if args.json:
+            _write_json(document, args.json, "bench")
+        return 0
+
+    # bench compare OLD NEW
+    try:
+        old = bench.load_artifact(args.old)
+        new = bench.load_artifact(args.new)
+        comparison = bench.compare_artifacts(
+            old, new, threshold=args.threshold
+        )
+    except (bench.BenchArtifactError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    print(bench.render_table(comparison))
+    if comparison.failed:
+        if args.warn_only:
+            print(
+                f"warning: {len(comparison.regressions)} regression(s) "
+                "beyond threshold (--warn-only: not failing)",
+                file=sys.stderr,
+            )
+            return 0
+        print(
+            f"FAIL: {len(comparison.regressions)} regression(s) beyond "
+            f"threshold {comparison.threshold:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _add_checkpoint_options(parser: argparse.ArgumentParser) -> None:
     """The machine-run checkpoint knobs shared by ``exec``/``profile``."""
     parser.add_argument(
@@ -858,6 +930,59 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="one grep-able line instead of the JSON description",
     )
+
+    bench_parser = commands.add_parser(
+        "bench", help="performance benchmarks and regression gating"
+    )
+    bench_commands = bench_parser.add_subparsers(
+        dest="bench_command", required=True
+    )
+    bench_run = bench_commands.add_parser(
+        "run", help="time the registered benchmarks"
+    )
+    bench_run.add_argument(
+        "--suite",
+        default="all",
+        choices=["micro", "macro", "all"],
+        help="which benchmark suite to run (default: all)",
+    )
+    bench_run.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "reduced, deterministic iteration counts for smoke runs "
+            "(artifacts are marked quick and compare loudly against "
+            "full-length ones)"
+        ),
+    )
+    bench_run.add_argument(
+        "--filter",
+        metavar="SUBSTR",
+        help="only run benchmarks whose name contains SUBSTR",
+    )
+    bench_run.add_argument(
+        "--json",
+        metavar="OUT",
+        help="write the repro-bench/v1 artifact ('-' for stdout)",
+    )
+    bench_compare = bench_commands.add_parser(
+        "compare",
+        help="gate NEW against OLD; exit 1 on regressions beyond threshold",
+    )
+    bench_compare.add_argument("old", help="baseline repro-bench/v1 artifact")
+    bench_compare.add_argument("new", help="candidate repro-bench/v1 artifact")
+    bench_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        metavar="FRACTION",
+        help="median-shift noise tolerance (default: 0.10 = 10%%)",
+    )
+    bench_compare.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (CI smoke on noisy runners)",
+    )
     return parser
 
 
@@ -873,6 +998,7 @@ def main(argv: list[str] | None = None) -> int:
         "verify": cmd_verify,
         "fuzz": cmd_fuzz,
         "ckpt": cmd_ckpt,
+        "bench": cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -233,7 +233,7 @@ def build_dependence(
             producer = items[final_def].instr
             graph.add(final_def, j, producer.latency)
             if not producer.pred.is_always:
-                positions = item.instr.source_positions()
+                positions = item.instr.source_positions
                 graph.shadow_positions.setdefault(j, set()).add(
                     positions[number]
                 )

@@ -17,22 +17,44 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 
+from repro.core.predicate import Predicate, PredValue
+
 
 class CCR:
-    """A K-entry condition code register with unspecified values."""
+    """A K-entry condition code register with unspecified values.
 
-    __slots__ = ("_values", "num_entries")
+    The register is read far more often than it is written: the commit
+    hardware re-evaluates every buffered predicate each cycle, while
+    conditions change only at condition-set instructions and region
+    exits.  The class therefore memoizes both the :meth:`values` mapping
+    and per-predicate :meth:`evaluate` verdicts, invalidating on any
+    mutation that actually changes an entry (no-op writes keep the memo
+    warm).  Callers must treat the :meth:`values` mapping as read-only
+    -- it is shared between calls.
+    """
+
+    __slots__ = ("_values", "num_entries", "_values_view", "_memo")
 
     def __init__(self, num_entries: int):
         if num_entries < 1:
             raise ValueError("CCR needs at least one entry")
         self.num_entries = num_entries
         self._values: list[bool | None] = [None] * num_entries
+        self._values_view: dict[int, bool | None] | None = None
+        self._memo: dict[Predicate, PredValue] = {}
+
+    def _invalidate(self) -> None:
+        self._values_view = None
+        if self._memo:
+            self._memo.clear()
 
     def set(self, index: int, value: bool) -> None:
         """Specify condition *index* (a condition-set instruction's write)."""
         self._check(index)
-        self._values[index] = bool(value)
+        value = bool(value)
+        if self._values[index] is not value:
+            self._values[index] = value
+            self._invalidate()
 
     def get(self, index: int) -> bool | None:
         """Current value of condition *index* (None = unspecified)."""
@@ -45,17 +67,57 @@ class CCR:
 
     def reset(self) -> None:
         """Reset every entry to unspecified (hardware region-exit action)."""
-        self._values = [None] * self.num_entries
+        if any(entry is not None for entry in self._values):
+            self._values = [None] * self.num_entries
+            self._invalidate()
 
     def values(self) -> Mapping[int, bool | None]:
-        """A read-only mapping view for predicate evaluation."""
-        return {i: v for i, v in enumerate(self._values)}
+        """A read-only mapping view for predicate evaluation.
+
+        The same dict is returned until the register next changes;
+        callers must not mutate it.
+        """
+        view = self._values_view
+        if view is None:
+            view = self._values_view = dict(enumerate(self._values))
+        return view
+
+    def evaluate(self, pred: Predicate) -> PredValue:
+        """Memoized tri-state evaluation of *pred* against this register.
+
+        Semantically identical to ``pred.evaluate(self.values())``; the
+        verdict is cached per predicate until the register changes,
+        because the commit hardware re-asks the same question for every
+        buffered write, store and issued operation each cycle.
+        """
+        terms = pred._terms
+        if not terms:
+            return PredValue.TRUE
+        memo = self._memo
+        verdict = memo.get(pred)
+        if verdict is None:
+            values = self._values
+            limit = self.num_entries
+            matched = True
+            for index, required in terms:
+                actual = values[index] if index < limit else None
+                if actual is None:
+                    verdict = PredValue.UNSPEC
+                    break
+                if actual is not required:
+                    matched = False
+            else:
+                verdict = PredValue.TRUE if matched else PredValue.FALSE
+            memo[pred] = verdict
+        return verdict
 
     def copy_from(self, other: CCR) -> None:
         """Copy *other*'s contents (recovery-mode exit: future CCR -> CCR)."""
         if other.num_entries != self.num_entries:
             raise ValueError("CCR size mismatch")
-        self._values = list(other._values)
+        if self._values != other._values:
+            self._values = list(other._values)
+            self._invalidate()
 
     def clone(self) -> CCR:
         other = CCR(self.num_entries)
@@ -74,6 +136,7 @@ class CCR:
         if len(values) != self.num_entries:
             raise ValueError("CCR size mismatch")
         self._values = [None if v is None else bool(v) for v in values]
+        self._invalidate()
 
     def _check(self, index: int) -> None:
         if not 0 <= index < self.num_entries:

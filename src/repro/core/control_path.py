@@ -30,7 +30,7 @@ class ControlPath:
 
     def evaluate(self, instruction: Instruction) -> PredValue:
         """Evaluate *instruction*'s predicate for this cycle's issue."""
-        verdict = instruction.pred.evaluate(self.ccr.values())
+        verdict = self.ccr.evaluate(instruction.pred)
         if verdict is PredValue.UNSPEC and not instruction.is_speculable:
             raise ScheduleViolation(
                 f"control transfer issued with unspecified predicate: {instruction}"
@@ -39,4 +39,4 @@ class ControlPath:
 
     def evaluate_pred(self, pred: Predicate) -> PredValue:
         """Evaluate a bare predicate (writeback-time re-evaluation)."""
-        return pred.evaluate(self.ccr.values())
+        return self.ccr.evaluate(pred)

@@ -100,8 +100,11 @@ class Predicate:
         condition is not yet specified).  Mirrors the paper's hardware: any
         unspecified constrained entry forces UNSPEC.
         """
+        terms = self._terms
+        if not terms:  # alw: no constrained entries, unconditionally TRUE
+            return PredValue.TRUE
         matched = True
-        for index, required in self._terms:
+        for index, required in terms:
             actual = ccr_values.get(index)
             if actual is None:
                 return PredValue.UNSPEC

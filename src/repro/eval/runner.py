@@ -355,9 +355,11 @@ def evaluate_cell(spec: CellSpec, ctx: ExperimentContext) -> dict:
             # the first run is killed while waiting; the resume run
             # pre-creates the sentinel, so the same spec completes.
             sentinel = Path(str(spec.extra("path")))
-            deadline = time.monotonic() + float(spec.extra("timeout", 60.0))
+            # Same clock as the runner's telemetry (perf_counter), so
+            # every duration in this module is measured consistently.
+            deadline = time.perf_counter() + float(spec.extra("timeout", 60.0))
             while not sentinel.exists():
-                if time.monotonic() > deadline:
+                if time.perf_counter() > deadline:
                     raise TimeoutError(f"sentinel {sentinel} never appeared")
                 time.sleep(0.02)
             return {"value": spec.extra("value", 1)}
@@ -484,13 +486,13 @@ def _set_worker_ctx(ctx: ExperimentContext | None) -> None:
     _worker_ctx = ctx
 
 
-def _pool_evaluate(spec: CellSpec) -> tuple[dict, float]:
+def _pool_evaluate(spec: CellSpec) -> tuple[dict, int]:
     global _worker_ctx
     if _worker_ctx is None:
         _worker_ctx = ExperimentContext()
-    start = time.perf_counter()
+    start = time.perf_counter_ns()
     values = evaluate_cell(spec, _worker_ctx)
-    return values, time.perf_counter() - start
+    return values, time.perf_counter_ns() - start
 
 
 # ----------------------------------------------------------------------
@@ -525,8 +527,8 @@ class RunnerStats:
     hits: int = 0
     misses: int = 0
     ledger_hits: int = 0
-    cell_times: list[tuple[str, float]] = field(default_factory=list)
-    wall_seconds: float = 0.0
+    cell_times: list[tuple[str, int]] = field(default_factory=list)  # (label, ns)
+    wall_ns: int = 0
     timeouts: int = 0
     crashes: int = 0
     retries: int = 0
@@ -540,6 +542,16 @@ class RunnerStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.total if self.total else 0.0
+
+    @property
+    def wall_seconds(self) -> float:
+        """Derived view of :attr:`wall_ns` for human-facing output.
+
+        Durations are measured and stored as ``perf_counter_ns`` integers
+        (the same units the bench harness uses); seconds exist only at
+        the display/metrics edge.
+        """
+        return self.wall_ns / 1e9
 
     def report(self) -> str:
         ledger = (
@@ -570,7 +582,7 @@ class RunnerStats:
             )[:5]
             lines.append(
                 "slowest cells: "
-                + ", ".join(f"{label} {secs:.3f}s" for label, secs in slowest)
+                + ", ".join(f"{label} {ns / 1e9:.3f}s" for label, ns in slowest)
             )
         return "\n".join(lines)
 
@@ -598,6 +610,7 @@ class RunnerStats:
             counters["runner.serial_fallbacks"] = self.serial_fallbacks
         return {
             "counters": counters,
+            "wall_ns": self.wall_ns,
             "wall_seconds": round(self.wall_seconds, 6),
         }
 
@@ -714,7 +727,7 @@ class CellRunner:
         return True
 
     def run(self, specs: list[CellSpec]) -> list[dict]:
-        started = time.perf_counter()
+        started = time.perf_counter_ns()
         keys = [
             cell_cache_key(
                 spec,
@@ -769,13 +782,13 @@ class CellRunner:
                         self.sink.count("runner.failed_cells")
                     values = outcome
                 else:
-                    values, seconds = outcome
-                    self.stats.cell_times.append((spec.label(), seconds))
+                    values, elapsed_ns = outcome
+                    self.stats.cell_times.append((spec.label(), elapsed_ns))
                     self._cache_store(key, spec, values)
                 for index in indices:
                     results[index] = values
 
-        self.stats.wall_seconds += time.perf_counter() - started
+        self.stats.wall_ns += time.perf_counter_ns() - started
         assert all(value is not None for value in results)
         return results  # type: ignore[return-value]
 
@@ -807,7 +820,7 @@ class CellRunner:
     def _evaluate_misses(self, todo: list[CellSpec], keys: list[str]) -> list:
         """Evaluate cache misses; one outcome per spec, in spec order.
 
-        An outcome is either ``(values, seconds)`` or an error entry.
+        An outcome is either ``(values, elapsed_ns)`` or an error entry.
         """
         if not self._can_pool(todo):
             outcomes = []
@@ -832,14 +845,14 @@ class CellRunner:
     def _in_process(self, spec: CellSpec):
         """Serial evaluation; the last-resort path has no hang/crash
         protection but still degrades exceptions into error entries."""
-        start = time.perf_counter()
+        start = time.perf_counter_ns()
         try:
             values = evaluate_cell(spec, self.ctx)
         except Exception as error:
             if self.fail_fast:
                 raise
             return error_entry(spec, error, attempts=1)
-        return values, time.perf_counter() - start
+        return values, time.perf_counter_ns() - start
 
     def _pooled(self, todo: list[CellSpec], keys: list[str]) -> list:
         try:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 from typing import Any
 
 from repro.core.predicate import ALWAYS, Predicate
@@ -80,16 +81,22 @@ class Instruction:
 
     # ------------------------------------------------------------------
     # Static properties derived from the opcode table.
+    #
+    # The derived views are ``cached_property``: instructions are
+    # immutable, and the machine re-reads decode facts (sources,
+    # destination, latency) every cycle an op is live, so each is
+    # computed once per instance.  ``cached_property`` stores into the
+    # instance ``__dict__`` directly, which a frozen dataclass permits.
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def info(self) -> OpcodeInfo:
         return OPCODES[self.opcode]
 
-    @property
+    @cached_property
     def fu(self) -> FuClass:
         return self.info.fu
 
-    @property
+    @cached_property
     def latency(self) -> int:
         return self.info.latency
 
@@ -117,7 +124,7 @@ class Instruction:
     def is_store(self) -> bool:
         return self.opcode == "st"
 
-    @property
+    @cached_property
     def is_cond_set(self) -> bool:
         return self.info.writes_creg
 
@@ -133,7 +140,7 @@ class Instruction:
     # ------------------------------------------------------------------
     # Def/use views.
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def dest_reg(self) -> int | None:
         """Destination general register index, or None."""
         for operand, role in zip(self.operands, self.info.signature):
@@ -142,7 +149,7 @@ class Instruction:
                 return operand.index
         return None
 
-    @property
+    @cached_property
     def dest_creg(self) -> int | None:
         """Destination condition register index, or None."""
         for operand, role in zip(self.operands, self.info.signature):
@@ -151,7 +158,7 @@ class Instruction:
                 return operand.index
         return None
 
-    @property
+    @cached_property
     def src_regs(self) -> tuple[int, ...]:
         """Source general register indices, in operand order."""
         return tuple(
@@ -160,7 +167,7 @@ class Instruction:
             if role == "rs" and isinstance(operand, Reg)
         )
 
-    @property
+    @cached_property
     def src_cregs(self) -> tuple[int, ...]:
         """Source condition register indices (branch uses)."""
         return tuple(
@@ -169,7 +176,7 @@ class Instruction:
             if role == "cu" and isinstance(operand, CReg)
         )
 
-    @property
+    @cached_property
     def target(self) -> str | None:
         """Control-transfer target label, or None."""
         for operand in self.operands:
@@ -177,7 +184,7 @@ class Instruction:
                 return operand.name
         return None
 
-    @property
+    @cached_property
     def imm(self) -> int | None:
         """Immediate value, or None."""
         for operand in self.operands:
@@ -185,6 +192,7 @@ class Instruction:
                 return operand.value
         return None
 
+    @cached_property
     def source_positions(self) -> tuple[int, ...]:
         """Operand positions that are general-register sources."""
         return tuple(

@@ -187,6 +187,18 @@ class VLIWMachine:
 
         self._in_flight: list[_InFlight] = []
         self._region_starts = program.region_starts()
+        # Store-buffer demand per bundle is static: precompute it so the
+        # per-cycle stall check is two comparisons, not an opcode scan.
+        self._bundle_store_ops = [
+            sum(1 for op in bundle if op.opcode in ("st", "out"))
+            for bundle in program.bundles
+        ]
+        # Conservative "might a speculative fault be buffered?" flag.
+        # Faults are rare; ``_exception_commits`` short-circuits on this
+        # and re-scans (self-clearing it) only while it is raised.  Any
+        # code that plants an E flag outside the machine's own buffering
+        # paths (e.g. the fault injector) must raise it again.
+        self._maybe_fault = True
         self._btb = (
             BranchTargetBuffer(config.btb_entries, sink=sink)
             if config.btb_entries is not None
@@ -356,9 +368,9 @@ class VLIWMachine:
             )
 
     def _must_stall(self, bundle) -> bool:
-        needs_buffer = sum(1 for op in bundle if op.opcode in ("st", "out"))
+        needs_buffer = self._bundle_store_ops[self.pc]
         return needs_buffer > 0 and (
-            len(self.store_buffer.pending_entries()) + needs_buffer
+            len(self.store_buffer) + needs_buffer
             > self.store_buffer.capacity
         )
 
@@ -514,23 +526,35 @@ class VLIWMachine:
                     halted = True
 
         # ---- end of cycle -------------------------------------------------
-        ccr_next = self.ccr.clone()
-        for index, value in pending_ccr:
-            ccr_next.set(index, value)
-            if self._cycle_events is not None:
-                self._cycle_events.ccr_sets.append((index, value))
-            if self._observing:
-                self.sink.count("machine.ccr_sets")
-                if self.tracer is not None:
-                    self.tracer.instant(
-                        self.cycle, "ccr", f"c{index}={int(value)}"
-                    )
+        # Cloning (and copying back) the CCR is only needed on cycles
+        # with condition-set results; on quiet cycles the live register
+        # doubles as its own next state, keeping its evaluation memo warm.
+        if pending_ccr:
+            ccr_next = self.ccr.clone()
+            for index, value in pending_ccr:
+                ccr_next.set(index, value)
+                if self._cycle_events is not None:
+                    self._cycle_events.ccr_sets.append((index, value))
+                if self._observing:
+                    self.sink.count("machine.ccr_sets")
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            self.cycle, "ccr", f"c{index}={int(value)}"
+                        )
+        else:
+            ccr_next = self.ccr
 
         if self.mode is MachineMode.NORMAL and self._exception_commits(ccr_next):
+            # The future CCR must be a private instance even when no
+            # condition was set this cycle (CCR-corruption injection can
+            # commit an E flag under the *unchanged* register).
+            if ccr_next is self.ccr:
+                ccr_next = self.ccr.clone()
             self._enter_recovery(ccr_next)
             return False
 
-        self.ccr.copy_from(ccr_next)
+        if ccr_next is not self.ccr:
+            self.ccr.copy_from(ccr_next)
         self._apply_due_writebacks(self.ccr)
 
         if self.mode is MachineMode.RECOVERY and self.pc == self.epc:
@@ -656,6 +680,8 @@ class VLIWMachine:
                     fault = None
                 elif decision is PredValue.FALSE:
                     fault = None
+        if fault is not None:
+            self._maybe_fault = True
         serial = self.store_buffer.append(
             address, value, op.pred, speculative=speculative, fault=fault
         )
@@ -700,7 +726,7 @@ class VLIWMachine:
         """Decide *op*'s fault fate: UNSPEC outside recovery (buffer it)."""
         if self.mode is MachineMode.NORMAL or self.future_ccr is None:
             return PredValue.UNSPEC
-        return op.pred.evaluate(self.future_ccr.values())
+        return self.future_ccr.evaluate(op.pred)
 
     def _handle_nonspeculative_fault(
         self, op: Instruction, fault: FaultRecord
@@ -715,7 +741,7 @@ class VLIWMachine:
     # Operand access and writeback.
     # ------------------------------------------------------------------
     def _read_src(self, op: Instruction, source_number: int) -> int:
-        positions = op.source_positions()
+        positions = op.source_positions
         position = positions[source_number]
         reg = op.src_regs[source_number]
         return self.regfile.read(
@@ -753,6 +779,8 @@ class VLIWMachine:
         dest = op.dest_reg
         if dest is None:
             return
+        if fault is not None:
+            self._maybe_fault = True
         self.regfile.write_speculative(dest, value, op.pred, fault=fault)
 
     def _apply_due_writebacks(self, ccr: CCR) -> None:
@@ -761,7 +789,7 @@ class VLIWMachine:
             if entry.due_cycle > self.cycle:
                 still_flying.append(entry)
                 continue
-            verdict = entry.pred.evaluate(ccr.values())
+            verdict = ccr.evaluate(entry.pred)
             if verdict is PredValue.TRUE:
                 self.regfile.supersede_pending(entry.reg, ccr)
                 self.regfile.write_sequential(entry.reg, entry.value)
@@ -778,9 +806,8 @@ class VLIWMachine:
 
     def _flush_in_flight(self) -> None:
         """Complete TRUE-under-current in-flight results; drop the rest."""
-        values = self.ccr.values()
         for entry in self._in_flight:
-            if entry.pred.evaluate(values) is PredValue.TRUE:
+            if self.ccr.evaluate(entry.pred) is PredValue.TRUE:
                 self.regfile.supersede_pending(entry.reg, self.ccr)
                 self.regfile.write_sequential(entry.reg, entry.value)
         self._in_flight = []
@@ -789,23 +816,33 @@ class VLIWMachine:
     # Exception commit and recovery.
     # ------------------------------------------------------------------
     def _exception_commits(self, ccr_next: CCR) -> bool:
-        """Would updating the CCR commit any buffered E flag?"""
-        values = ccr_next.values()
+        """Would updating the CCR commit any buffered E flag?
+
+        Guarded by ``_maybe_fault``: the flag is raised whenever the
+        machine buffers an E flag (or the fault injector plants one) and
+        lowered again by a full scan that finds no buffered fault left,
+        so fault-free execution pays one boolean test per cycle.
+        """
+        if not self._maybe_fault:
+            return False
+        fault_seen = False
         for entry in self.regfile.entries:
             for write in entry.pending:
-                if (
-                    write.fault is not None
-                    and write.pred.evaluate(values) is PredValue.TRUE
-                ):
-                    return True
+                if write.fault is not None:
+                    fault_seen = True
+                    if ccr_next.evaluate(write.pred) is PredValue.TRUE:
+                        return True
         for entry in self.store_buffer.pending_entries():
             if (
                 entry.valid
                 and entry.speculative
                 and entry.fault is not None
-                and entry.pred.evaluate(values) is PredValue.TRUE
             ):
-                return True
+                fault_seen = True
+                if ccr_next.evaluate(entry.pred) is PredValue.TRUE:
+                    return True
+        if not fault_seen:
+            self._maybe_fault = False
         return False
 
     def _enter_recovery(self, ccr_next: CCR) -> None:

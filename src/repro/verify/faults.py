@@ -109,6 +109,9 @@ class InjectingMachine(VLIWMachine):
             if detail is not None:
                 self.applied_cycle = self.cycle
                 self.applied_detail = detail
+                # Injection plants E flags behind the machine's back;
+                # re-arm the exception-commit scan guard.
+                self._maybe_fault = True
         super()._tick()
 
     # -- injection targets ---------------------------------------------

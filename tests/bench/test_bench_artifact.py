@@ -1,0 +1,190 @@
+"""Tests for the ``repro-bench/v1`` artifact layer."""
+
+import copy
+
+import pytest
+
+from repro.bench.artifact import (
+    SCHEMA,
+    BenchArtifactError,
+    dumps_artifact,
+    host_fingerprint,
+    load_artifact,
+    make_artifact,
+    merge_artifacts,
+    validate_artifact,
+    write_artifact,
+)
+from repro.bench.harness import run_measurement
+
+
+def _measurement(name="micro.test", work=1_000):
+    return run_measurement(
+        name=name,
+        suite="micro",
+        unit="ops",
+        fn=lambda: work,
+        iterations=3,
+        warmup=1,
+    )
+
+
+def synthetic_record(median_ns: float, *, unit="ops") -> dict:
+    """A schema-valid benchmark record with a chosen median."""
+    return {
+        "suite": "micro",
+        "unit": unit,
+        "iterations": 5,
+        "warmup": 1,
+        "work_per_iteration": 1_000,
+        "ns": {
+            "samples": 5,
+            "rejected": 0,
+            "min": median_ns * 0.9,
+            "median": median_ns,
+            "mean": median_ns,
+            "stdev": 0.0,
+            "ci95": 0.0,
+        },
+        "throughput": {
+            "unit": f"{unit}/sec",
+            "median": 1_000 / (median_ns / 1e9),
+            "best": 1_000 / (median_ns * 0.9 / 1e9),
+        },
+    }
+
+
+def synthetic_artifact(medians: dict, *, quick=False, host=None) -> dict:
+    """A schema-valid artifact from ``{name: median_ns}``."""
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "host": host or host_fingerprint(),
+        "benchmarks": {
+            name: synthetic_record(median) for name, median in medians.items()
+        },
+    }
+
+
+class TestMakeArtifact:
+    def test_round_trip(self, tmp_path):
+        document = make_artifact([_measurement()])
+        path = write_artifact(tmp_path / "bench.json", document)
+        assert load_artifact(path) == document
+
+    def test_canonical_serialization(self):
+        document = make_artifact([_measurement()])
+        text = dumps_artifact(document)
+        assert text.endswith("\n")
+        # Same data serializes to identical bytes regardless of
+        # insertion order.
+        reordered = {key: document[key] for key in reversed(list(document))}
+        assert dumps_artifact(reordered) == text
+
+    def test_raw_samples_not_persisted(self):
+        measurement = _measurement()
+        document = make_artifact([measurement])
+        assert "raw_ns" not in document["benchmarks"]["micro.test"]
+        assert measurement.raw_ns  # still available in memory
+
+    def test_quick_flag_recorded(self):
+        assert make_artifact([_measurement()], quick=True)["quick"] is True
+        assert make_artifact([_measurement()])["quick"] is False
+
+    def test_empty_run_rejected(self):
+        with pytest.raises(BenchArtifactError, match="no measurements"):
+            make_artifact([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(BenchArtifactError, match="duplicate"):
+            make_artifact([_measurement(), _measurement()])
+
+
+class TestValidation:
+    def test_synthetic_artifact_is_valid(self):
+        validate_artifact(synthetic_artifact({"a": 1e6, "b": 2e6}))
+
+    def test_wrong_schema(self):
+        document = synthetic_artifact({"a": 1e6})
+        document["schema"] = "repro-bench/v0"
+        with pytest.raises(BenchArtifactError, match="schema mismatch"):
+            validate_artifact(document)
+
+    def test_missing_record_key(self):
+        document = synthetic_artifact({"a": 1e6})
+        del document["benchmarks"]["a"]["warmup"]
+        with pytest.raises(BenchArtifactError, match="record keys"):
+            validate_artifact(document)
+
+    def test_unexpected_record_key(self):
+        document = synthetic_artifact({"a": 1e6})
+        document["benchmarks"]["a"]["extra"] = 1
+        with pytest.raises(BenchArtifactError, match="record keys"):
+            validate_artifact(document)
+
+    def test_non_positive_median(self):
+        document = synthetic_artifact({"a": 1e6})
+        document["benchmarks"]["a"]["ns"]["median"] = 0
+        with pytest.raises(BenchArtifactError, match="median"):
+            validate_artifact(document)
+
+    def test_throughput_unit_must_match(self):
+        document = synthetic_artifact({"a": 1e6})
+        document["benchmarks"]["a"]["throughput"]["unit"] = "cycles/sec"
+        with pytest.raises(BenchArtifactError, match="throughput unit"):
+            validate_artifact(document)
+
+    def test_non_finite_number(self):
+        document = synthetic_artifact({"a": 1e6})
+        document["benchmarks"]["a"]["ns"]["mean"] = float("inf")
+        with pytest.raises(BenchArtifactError, match="non-finite"):
+            validate_artifact(document)
+
+    def test_empty_benchmarks(self):
+        document = synthetic_artifact({"a": 1e6})
+        document["benchmarks"] = {}
+        with pytest.raises(BenchArtifactError, match="benchmarks"):
+            validate_artifact(document)
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(BenchArtifactError, match="not JSON"):
+            load_artifact(path)
+
+
+class TestMerge:
+    def test_overlay_wins(self):
+        base = synthetic_artifact({"a": 1e6, "b": 2e6})
+        overlay = synthetic_artifact({"b": 3e6, "c": 4e6})
+        merged = merge_artifacts(base, overlay)
+        assert set(merged["benchmarks"]) == {"a", "b", "c"}
+        assert merged["benchmarks"]["b"]["ns"]["median"] == 3e6
+
+    def test_different_hosts_refused(self):
+        base = synthetic_artifact({"a": 1e6})
+        overlay = synthetic_artifact({"b": 2e6})
+        overlay["host"] = dict(overlay["host"], machine="sparc")
+        with pytest.raises(BenchArtifactError, match="different hosts"):
+            merge_artifacts(base, overlay)
+
+    def test_quick_full_mix_refused(self):
+        base = synthetic_artifact({"a": 1e6})
+        overlay = synthetic_artifact({"a": 2e6}, quick=True)
+        with pytest.raises(BenchArtifactError, match="quick"):
+            merge_artifacts(base, overlay)
+
+    def test_inputs_unchanged(self):
+        base = synthetic_artifact({"a": 1e6})
+        overlay = synthetic_artifact({"a": 2e6})
+        base_copy = copy.deepcopy(base)
+        merge_artifacts(base, overlay)
+        assert base == base_copy
+
+
+class TestHostFingerprint:
+    def test_shape(self):
+        host = host_fingerprint()
+        assert host["python"]
+        assert host["implementation"]
+        assert host["cpu_count"] >= 1

@@ -1,0 +1,119 @@
+"""Tests for the regression gate on synthetic timing data."""
+
+import pytest
+
+from repro.bench.gate import (
+    DEFAULT_THRESHOLD,
+    classify,
+    compare_artifacts,
+    render_table,
+)
+
+from tests.bench.test_bench_artifact import synthetic_artifact
+
+
+class TestClassify:
+    def test_regression_beyond_threshold(self):
+        assert classify(100.0, 120.0, 0.10) == "regression"
+
+    def test_improvement_beyond_threshold(self):
+        assert classify(100.0, 80.0, 0.10) == "improvement"
+
+    def test_within_noise_is_ok(self):
+        assert classify(100.0, 105.0, 0.10) == "ok"
+        assert classify(100.0, 95.0, 0.10) == "ok"
+
+    def test_threshold_is_exclusive_at_the_boundary(self):
+        # Exactly +10% is still inside the tolerance band.
+        assert classify(100.0, 110.0, 0.10) == "ok"
+        assert classify(100.0, 90.0, 0.10) == "ok"
+
+
+class TestCompare:
+    def test_regression_fails_the_gate(self):
+        old = synthetic_artifact({"a": 1e6})
+        new = synthetic_artifact({"a": 1.2e6})  # +20%
+        comparison = compare_artifacts(old, new, threshold=0.10)
+        assert comparison.failed
+        assert [d.name for d in comparison.regressions] == ["a"]
+        delta = comparison.deltas[0]
+        assert delta.ratio == pytest.approx(1.2)
+        assert delta.speedup == pytest.approx(1 / 1.2)
+
+    def test_improvement_passes_the_gate(self):
+        old = synthetic_artifact({"a": 1e6})
+        new = synthetic_artifact({"a": 0.5e6})
+        comparison = compare_artifacts(old, new)
+        assert not comparison.failed
+        assert [d.name for d in comparison.improvements] == ["a"]
+
+    def test_within_noise_passes(self):
+        old = synthetic_artifact({"a": 1e6})
+        new = synthetic_artifact({"a": 1.05e6})  # +5% < 10%
+        comparison = compare_artifacts(old, new)
+        assert not comparison.failed
+        assert comparison.deltas[0].status == "ok"
+
+    def test_added_and_removed_never_fail(self):
+        old = synthetic_artifact({"a": 1e6, "gone": 1e6})
+        new = synthetic_artifact({"a": 1e6, "fresh": 1e6})
+        comparison = compare_artifacts(old, new)
+        assert not comparison.failed
+        statuses = {d.name: d.status for d in comparison.deltas}
+        assert statuses == {"a": "ok", "gone": "removed", "fresh": "added"}
+
+    def test_mixed_verdict_counts(self):
+        old = synthetic_artifact({"slow": 1e6, "fast": 1e6, "same": 1e6})
+        new = synthetic_artifact({"slow": 2e6, "fast": 0.5e6, "same": 1e6})
+        comparison = compare_artifacts(old, new)
+        assert comparison.failed  # one regression is enough
+        assert comparison.counts() == {
+            "regression": 1,
+            "improvement": 1,
+            "ok": 1,
+            "added": 0,
+            "removed": 0,
+        }
+
+    def test_custom_threshold(self):
+        old = synthetic_artifact({"a": 1e6})
+        new = synthetic_artifact({"a": 1.15e6})
+        assert compare_artifacts(old, new, threshold=0.10).failed
+        assert not compare_artifacts(old, new, threshold=0.20).failed
+
+    @pytest.mark.parametrize("threshold", [0.0, 1.0, -0.1, 2.0])
+    def test_threshold_bounds(self, threshold):
+        artifact = synthetic_artifact({"a": 1e6})
+        with pytest.raises(ValueError, match="threshold"):
+            compare_artifacts(artifact, artifact, threshold=threshold)
+
+    def test_default_threshold(self):
+        assert DEFAULT_THRESHOLD == 0.10
+
+    def test_host_and_quick_mismatch_flagged_not_failed(self):
+        old = synthetic_artifact({"a": 1e6})
+        new = synthetic_artifact({"a": 1e6}, quick=True)
+        new["host"] = dict(new["host"], machine="sparc")
+        comparison = compare_artifacts(old, new)
+        assert comparison.host_mismatch
+        assert comparison.quick_mismatch
+        assert not comparison.failed
+
+
+class TestRenderTable:
+    def test_regressions_listed_first_with_warnings(self):
+        old = synthetic_artifact({"z_slow": 1e6, "a_fast": 1e6})
+        new = synthetic_artifact({"z_slow": 2e6, "a_fast": 0.5e6}, quick=True)
+        table = render_table(compare_artifacts(old, new))
+        lines = table.splitlines()
+        assert "z_slow" in lines[1]  # regression row before improvement
+        assert "+100.0%" in lines[1]
+        assert "a_fast" in lines[2]
+        assert "1 regression, 1 improvement" in table
+        assert "--quick" in table  # quick-mismatch warning
+
+    def test_units_scale_for_readability(self):
+        old = synthetic_artifact({"tiny": 500.0, "huge": 2.5e9})
+        table = render_table(compare_artifacts(old, old))
+        assert "500ns" in table
+        assert "2.500s" in table

@@ -1,0 +1,136 @@
+"""Tests for the steady-state timing harness."""
+
+import pytest
+
+from repro.bench.harness import (
+    Measurement,
+    TimingStats,
+    reject_outliers,
+    run_measurement,
+    summarize,
+    time_iterations,
+)
+
+
+class TestOutlierRejection:
+    def test_keeps_clean_samples(self):
+        samples = [100, 101, 102, 99, 100]
+        kept, rejected = reject_outliers(samples)
+        assert kept == samples
+        assert rejected == 0
+
+    def test_drops_long_tail_spike(self):
+        samples = [100, 101, 102, 99, 100, 10_000]
+        kept, rejected = reject_outliers(samples)
+        assert 10_000 not in kept
+        assert rejected == 1
+
+    def test_zero_mad_keeps_everything(self):
+        # Identical samples (clock-resolution ties) have no spread to
+        # judge outliers against.
+        samples = [100] * 6 + [500]
+        kept, rejected = reject_outliers(samples)
+        assert kept == samples
+        assert rejected == 0
+
+    def test_tiny_sample_sets_untouched(self):
+        kept, rejected = reject_outliers([1, 1_000_000])
+        assert kept == [1, 1_000_000]
+        assert rejected == 0
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        stats = summarize([100, 200, 300])
+        assert stats.samples == 3
+        assert stats.min == 100
+        assert stats.median == 200
+        assert stats.mean == 200
+        assert stats.stdev == 100
+        assert stats.ci95 > 0
+
+    def test_single_sample(self):
+        stats = summarize([500])
+        assert stats.samples == 1
+        assert stats.median == 500
+        assert stats.stdev == 0.0
+        assert stats.ci95 == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize([])
+
+    def test_outliers_excluded_from_summary(self):
+        stats = summarize([100, 101, 102, 99, 100, 10_000])
+        assert stats.rejected == 1
+        assert stats.samples == 5
+        assert stats.median == 100
+
+
+class TestTimeIterations:
+    def test_counts_and_work(self):
+        calls = []
+        samples, work = time_iterations(
+            lambda: calls.append(1) or 7, iterations=4, warmup=2
+        )
+        assert len(calls) == 6  # warmup + timed
+        assert len(samples) == 4
+        assert work == 7
+        assert all(isinstance(sample, int) for sample in samples)
+
+    def test_work_drift_raises(self):
+        counter = iter(range(100))
+
+        with pytest.raises(RuntimeError, match="drifted"):
+            time_iterations(lambda: next(counter), iterations=3, warmup=0)
+
+    def test_gc_state_restored(self):
+        import gc
+
+        assert gc.isenabled()
+        time_iterations(lambda: 1, iterations=2, warmup=0)
+        assert gc.isenabled()
+
+
+class TestRunMeasurement:
+    def _measure(self, **overrides) -> Measurement:
+        kwargs = dict(
+            name="micro.test",
+            suite="micro",
+            unit="ops",
+            fn=lambda: 1_000,
+            iterations=3,
+            warmup=1,
+        )
+        kwargs.update(overrides)
+        return run_measurement(**kwargs)
+
+    def test_throughput_is_work_over_wall_time(self):
+        measurement = self._measure()
+        assert measurement.work_per_iteration == 1_000
+        assert measurement.throughput_median == pytest.approx(
+            1_000 / (measurement.ns.median / 1e9)
+        )
+        assert measurement.throughput_best >= measurement.throughput_median
+
+    def test_record_shape(self):
+        record = self._measure().to_dict()
+        assert record["suite"] == "micro"
+        assert record["unit"] == "ops"
+        assert record["throughput"]["unit"] == "ops/sec"
+        assert set(record["ns"]) == {
+            "samples", "rejected", "min", "median", "mean", "stdev", "ci95"
+        }
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            self._measure(iterations=0)
+
+    def test_non_positive_work_rejected(self):
+        with pytest.raises(RuntimeError, match="non-positive"):
+            self._measure(fn=lambda: 0)
+
+    def test_stats_are_frozen(self):
+        stats = TimingStats(1, 0, 1, 1.0, 1.0, 0.0, 0.0)
+        with pytest.raises(AttributeError):
+            stats.median = 2.0

@@ -117,7 +117,11 @@ class TestValidation:
 class TestMetricsEnvelope:
     """The optional v2 ``metrics`` section (runner telemetry)."""
 
-    METRICS = {"counters": {"runner.cells": 3}, "wall_seconds": 0.5}
+    METRICS = {
+        "counters": {"runner.cells": 3},
+        "wall_ns": 500_000_000,
+        "wall_seconds": 0.5,
+    }
 
     def test_metrics_promote_schema_to_v2(self, small_ctx, small_options):
         result = EXPERIMENTS["hwcost"](small_ctx, small_options)

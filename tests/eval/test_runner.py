@@ -104,6 +104,8 @@ class TestCellRunner:
         results = ctx.run_cells([_speedup_spec(), _speedup_spec()])
         assert results[0] == results[1]
         assert len(ctx.runner.stats.cell_times) == 1
+        # Per-cell telemetry is integer perf_counter_ns durations.
+        assert isinstance(ctx.runner.stats.cell_times[0][1], int)
         # Both cells are accounted for in the miss counter.
         assert ctx.runner.stats.misses == 2
 
@@ -222,7 +224,12 @@ class TestRunnerTelemetry:
         metrics = ctx.runner.stats.to_metrics()
         assert metrics["counters"]["runner.cells"] == 1
         assert metrics["counters"]["runner.cache_misses"] == 1
+        assert isinstance(metrics["wall_ns"], int)
+        assert metrics["wall_ns"] > 0
         assert metrics["wall_seconds"] >= 0.0
+        assert metrics["wall_seconds"] == pytest.approx(
+            metrics["wall_ns"] / 1e9, abs=1e-6
+        )
 
     def test_speedup_cells_carry_btb_statistics(self):
         ctx = ExperimentContext([get_workload("grep")])

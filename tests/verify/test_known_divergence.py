@@ -1,0 +1,50 @@
+"""Regression lock on the known ``region_pred`` divergence.
+
+``findings/case-synthetic-1803.json`` freezes a fuzz finding (synthetic
+program, seed 1803, demand-paged faults with unmap probability 0.3)
+where region-predicated scheduled code diverges from scalar semantics:
+the machine emits an extra ``out`` and a wrong register file.  See the
+open item in ROADMAP.md ("Known bug (pre-existing, found 2026-08-06)").
+
+The test is ``xfail(strict=True)``: it replays the case through the
+differential oracle and asserts equivalence, which is expected to fail
+while the scheduler/commit bug is open.  When the bug is fixed the
+xpass becomes a hard failure, forcing whoever fixes it to delete the
+marker here and close the ROADMAP entry in the same change -- the case
+file is the bug's executable definition.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify.case import ReproCase
+
+CASE_PATH = (
+    Path(__file__).resolve().parents[2]
+    / "findings"
+    / "case-synthetic-1803.json"
+)
+
+
+def test_case_file_is_loadable():
+    """The frozen case must stay parseable even while the bug is open."""
+    case = ReproCase.load(CASE_PATH)
+    assert case.model == "region_pred"
+    assert case.backing, "case relies on the demand-paging backing store"
+    assert case.instruction_count() > 0
+
+
+@pytest.mark.xfail(
+    strict=True,
+    reason=(
+        "known region_pred scheduler/commit divergence under demand-paged "
+        "faults (ROADMAP open item, fuzz seed 1803); remove this marker "
+        "when the fix lands"
+    ),
+)
+def test_case_synthetic_1803_replays_equivalent():
+    result = ReproCase.load(CASE_PATH).run()
+    assert result.equivalent, result.describe()
