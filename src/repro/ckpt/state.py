@@ -249,6 +249,9 @@ def snapshot_vliw(machine: VLIWMachine) -> dict:
                 "reg": entry.reg,
                 "value": entry.value,
                 "pred": str(entry.pred),
+                "fault": (
+                    None if entry.fault is None else entry.fault.to_state()
+                ),
             }
             for entry in machine._in_flight
         ],
@@ -353,6 +356,11 @@ def restore_vliw(
             reg=entry["reg"],
             value=entry["value"],
             pred=parse_predicate(entry["pred"]),
+            fault=(
+                None
+                if entry.get("fault") is None
+                else FaultRecord.from_state(entry["fault"])
+            ),
         )
         for entry in state["in_flight"]
     ]

@@ -27,6 +27,13 @@ Commands:
   over random structured programs, region policies, machine shapes and
   fault-raising loads; ``--shrink`` delta-debugs findings to minimal
   repros, ``--out`` freezes them as replayable JSON cases.
+* ``diff-trace`` -- lockstep divergence forensics: run a workload (or
+  ``--replay CASE.json``) on both the scalar golden model and the
+  machine with flight recorders and committed-effect streams attached,
+  and report the first divergent architectural effect with a +-K-event
+  flight window around it on each side (``--window``), a
+  ``repro-tracediff/v1`` artifact (``--json``) and a merged two-process
+  Perfetto trace (``--trace-out``).
 * ``ckpt``       -- checkpoint tooling; ``ckpt inspect SNAP.json``
   prints a snapshot's engine, position, occupancy and hash validity
   (``--summary`` for the grep-able one-line form).
@@ -46,6 +53,13 @@ killed sweep replays finished cells instead of recomputing them).  The
 long-running verbs trap SIGINT/SIGTERM, flush a final checkpoint at the
 next safe boundary, and exit ``128 + signum`` (130/143) so wrappers can
 tell "interrupted but resumable" from "failed".
+
+Observability: the global ``--log-json PATH`` flag (before the command:
+``repro --log-json run.jsonl fuzz ...``) appends structured JSONL run
+records -- experiment cells with cache/ledger outcomes, cell retries,
+fuzz campaign verdicts, bench samples.  ``experiment`` and ``fuzz`` take
+``--progress`` for a stderr-only single-line live meter (done/total,
+cache-hit rate or divergences, ETA).
 """
 
 from __future__ import annotations
@@ -78,6 +92,8 @@ from repro.isa import parse_program
 from repro.machine.config import base_machine
 from repro.machine.scalar import run_scalar
 from repro.obs import CounterSink, CycleTraceRecorder, attribute_regions
+from repro.obs.progress import ProgressLine
+from repro.obs.runlog import NULL_RUN_LOG, JsonlRunLog
 from repro.sim.memory import Memory
 from repro.workloads import all_workloads, get_workload
 
@@ -403,6 +419,74 @@ def cmd_verify(args) -> int:
     return 0 if all(result.equivalent for result in results) else 1
 
 
+def cmd_diff_trace(args) -> int:
+    from repro.verify import (
+        ReproCase,
+        diff_trace_case,
+        merged_trace,
+        run_diff_trace,
+    )
+    from repro.verify.tracediff import TRACEDIFF_SCHEMA
+
+    tracer = None
+    if args.replay:
+        case = ReproCase.load(args.replay)
+        if args.trace_out:
+            tracer = CycleTraceRecorder(case.name, pid=1, process="machine")
+        print(f"diff-tracing {args.replay} ({case.name}, {case.model})")
+        result = diff_trace_case(
+            case,
+            window=args.window,
+            flight_capacity=args.flight_capacity,
+            tracer=tracer,
+        )
+    else:
+        if args.target is None:
+            print(
+                "diff-trace needs a workload/file target or --replay "
+                "CASE.json",
+                file=sys.stderr,
+            )
+            return 2
+        program, train, memory = _load_program_and_memory(
+            args.target, args.seed
+        )
+        if args.trace_out:
+            tracer = CycleTraceRecorder(
+                program.name, pid=1, process="machine"
+            )
+        result = run_diff_trace(
+            program,
+            args.model,
+            base_machine(),
+            train_memory=train.clone(),
+            eval_memory=memory.clone(),
+            window=args.window,
+            flight_capacity=args.flight_capacity,
+            tracer=tracer,
+        )
+    print(result.describe())
+    if args.json:
+        _write_json(result.to_dict(), args.json, "diff-trace")
+    if args.trace_out:
+        path = Path(args.trace_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(merged_trace(result, tracer), indent=1) + "\n"
+        )
+        print(f"[trace] {path}", file=sys.stderr)
+    run_log = getattr(args, "run_log", NULL_RUN_LOG)
+    if run_log.enabled:
+        run_log.event(
+            "diff_trace.result",
+            program=result.program,
+            model=result.model,
+            equivalent=result.equivalent,
+            schema=TRACEDIFF_SCHEMA,
+        )
+    return 0 if result.equivalent else 1
+
+
 def cmd_fuzz(args) -> int:
     from repro.verify import run_fuzz
 
@@ -411,10 +495,24 @@ def cmd_fuzz(args) -> int:
         return 2
     sink = CounterSink()
 
+    meter = ProgressLine("fuzz") if args.progress else None
+    done = 0
+    diverged = 0
+
     def progress(spec, result) -> None:
+        nonlocal done, diverged
+        done += 1
+        if result is not None and not result.equivalent:
+            diverged += 1
         if args.verbose:
-            status = "ok" if result.equivalent else "DIVERGED"
+            status = (
+                "replayed"
+                if result is None
+                else ("ok" if result.equivalent else "DIVERGED")
+            )
             print(f"  {spec.label()}: {status}", file=sys.stderr)
+        if meter is not None:
+            meter.update(done, args.campaigns, f"{diverged} diverged")
 
     journal = Journal(args.journal) if args.journal else None
     try:
@@ -428,6 +526,7 @@ def cmd_fuzz(args) -> int:
                 progress=progress,
                 journal=journal,
                 supervisor=supervisor,
+                run_log=getattr(args, "run_log", NULL_RUN_LOG),
             )
     except ShutdownRequested as shutdown:
         if journal is not None:
@@ -442,6 +541,8 @@ def cmd_fuzz(args) -> int:
             f"--journal {args.journal or 'DIR'} --resume",
         )
     finally:
+        if meter is not None:
+            meter.finish()
         if journal is not None:
             journal.close()
     print(report.summary())
@@ -489,6 +590,11 @@ def cmd_experiment(args) -> int:
         print("--resume needs --journal", file=sys.stderr)
         return 2
     journal = Journal(args.journal) if args.journal else None
+    meter = ProgressLine("experiment") if args.progress else None
+    progress = None
+    if meter is not None:
+        def progress(done, total, stats):
+            meter.update(done, total, f"cache {stats.hit_rate:.0%}")
     try:
         with SignalSupervisor() as supervisor:
             ctx = ExperimentContext(
@@ -498,6 +604,8 @@ def cmd_experiment(args) -> int:
                 fail_fast=args.fail_fast,
                 journal=journal, checkpoint_every=args.checkpoint_every,
                 supervisor=supervisor,
+                run_log=getattr(args, "run_log", NULL_RUN_LOG),
+                progress=progress,
             )
             options = ExperimentOptions()
             for name in names:
@@ -537,6 +645,8 @@ def cmd_experiment(args) -> int:
             f"{args.journal or 'DIR'} --resume",
         )
     finally:
+        if meter is not None:
+            meter.finish()
         if journal is not None:
             journal.close()
     if not args.quiet:
@@ -592,11 +702,23 @@ def cmd_bench(args) -> int:
                 file=sys.stderr,
             )
             return 2
+        run_log = getattr(args, "run_log", NULL_RUN_LOG)
         measurements = []
         for definition in benchmarks:
             measurement = definition.run(quick=args.quick)
             measurements.append(measurement)
             stats = measurement.ns
+            if run_log.enabled:
+                run_log.event(
+                    "bench.sample",
+                    name=measurement.name,
+                    median_ns=stats.median,
+                    min_ns=stats.min,
+                    mean_ns=stats.mean,
+                    ci95_ns=stats.ci95,
+                    throughput_median=measurement.throughput_median,
+                    unit=measurement.unit,
+                )
             print(
                 f"{measurement.name:<34} "
                 f"median {stats.median / 1e6:>9.3f}ms  "
@@ -695,6 +817,14 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Reproduction of 'Unconstrained Speculative Execution with "
             "Predicated State Buffering' (ISCA 1995)."
+        ),
+    )
+    parser.add_argument(
+        "--log-json",
+        metavar="PATH",
+        help=(
+            "append structured JSONL run-log records (run/cell/campaign/"
+            "sample events) to PATH; off by default"
         ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
@@ -841,6 +971,11 @@ def build_parser() -> argparse.ArgumentParser:
             "structured error entry and finishing the sweep"
         ),
     )
+    experiment_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stderr-only live progress line (cells done/total, ETA)",
+    )
     _add_journal_options(experiment_parser, "cell")
     experiment_parser.add_argument(
         "--checkpoint-every",
@@ -880,6 +1015,58 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"write the {VERIFY_SCHEMA} document ('-' for stdout)",
     )
 
+    diff_trace_parser = commands.add_parser(
+        "diff-trace",
+        help=(
+            "lockstep divergence forensics: pinpoint the first divergent "
+            "architectural effect between machine and scalar model"
+        ),
+    )
+    diff_trace_parser.add_argument(
+        "target",
+        nargs="?",
+        help="workload name or assembly file (omit with --replay)",
+    )
+    diff_trace_parser.add_argument(
+        "--model",
+        default="predicating",
+        choices=["predicating", "region_pred", "trace_pred"],
+        help="executable model to trace (default: predicating)",
+    )
+    diff_trace_parser.add_argument("--seed", type=int, default=2)
+    diff_trace_parser.add_argument(
+        "--replay",
+        metavar="CASE",
+        help="diff-trace a serialized repro case (JSON) instead",
+    )
+    diff_trace_parser.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        metavar="K",
+        help="effects of context shown around the divergence (default: 8)",
+    )
+    diff_trace_parser.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="flight-recorder ring capacity per side (default: 4096)",
+    )
+    diff_trace_parser.add_argument(
+        "--json",
+        metavar="OUT",
+        help="write the repro-tracediff/v1 document ('-' for stdout)",
+    )
+    diff_trace_parser.add_argument(
+        "--trace-out",
+        metavar="TRACE",
+        help=(
+            "write a merged Perfetto/Chrome trace_event JSON (machine "
+            "pid 1, scalar pid 2)"
+        ),
+    )
+
     fuzz_parser = commands.add_parser(
         "fuzz",
         help="seed-deterministic differential fuzzing campaigns",
@@ -911,6 +1098,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose",
         action="store_true",
         help="print one line per campaign on stderr",
+    )
+    fuzz_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stderr-only live progress line (campaigns done/total, ETA)",
     )
     _add_journal_options(fuzz_parser, "campaign")
 
@@ -996,11 +1188,23 @@ def main(argv: list[str] | None = None) -> int:
         "profile": cmd_profile,
         "experiment": cmd_experiment,
         "verify": cmd_verify,
+        "diff-trace": cmd_diff_trace,
         "fuzz": cmd_fuzz,
         "ckpt": cmd_ckpt,
         "bench": cmd_bench,
     }
-    return handlers[args.command](args)
+    run_log = JsonlRunLog(args.log_json) if args.log_json else NULL_RUN_LOG
+    args.run_log = run_log
+    if run_log.enabled:
+        run_log.event("run.command", command=args.command)
+    status = None
+    try:
+        status = handlers[args.command](args)
+    finally:
+        if run_log.enabled:
+            run_log.event("run.exit", command=args.command, status=status)
+        run_log.close()
+    return status
 
 
 if __name__ == "__main__":

@@ -65,10 +65,19 @@ class RegisterFileEntry:
 
 @dataclass
 class CommitEvents:
-    """Per-cycle commit/squash activity, for tests and the Table 1 replay."""
+    """Per-cycle commit/squash activity, for tests and the Table 1 replay.
+
+    ``committed_values`` carries the ``(reg, value)`` pairs that actually
+    reached sequential state this tick (fault-commits detect instead of
+    writing, so they appear in ``committed`` but not here); the forensics
+    layer turns these into committed-register effects.  It is collected
+    only when the register file's ``collect_commit_values`` flag is on --
+    forensics-off runs must not pay the per-commit tuple.
+    """
 
     committed: list[int] = field(default_factory=list)
     squashed: list[int] = field(default_factory=list)
+    committed_values: list[tuple[int, int]] = field(default_factory=list)
     detected_faults: list[FaultRecord] = field(default_factory=list)
 
 
@@ -91,6 +100,9 @@ class PredicatedRegisterFile:
         self.shadow_capacity = shadow_capacity
         self.zero_reg = zero_reg
         self.sink = sink
+        #: Opt-in (set by the machine when forensics are attached):
+        #: populate ``CommitEvents.committed_values`` during ticks.
+        self.collect_commit_values = False
         self.entries = [RegisterFileEntry() for _ in range(num_regs)]
 
     # ------------------------------------------------------------------
@@ -239,6 +251,10 @@ class PredicatedRegisterFile:
                         events.detected_faults.append(write.fault)
                     else:
                         entry.sequential = write.value
+                        if self.collect_commit_values:
+                            events.committed_values.append(
+                                (reg, write.value)
+                            )
                     events.committed.append(reg)
                 else:
                     events.squashed.append(reg)

@@ -195,9 +195,14 @@ class PredicatedStoreBuffer:
             if entry.speculative:
                 entry.valid = False
 
-    def drain(self, memory, output: list[int]) -> None:
-        """Retire every remaining committed entry (used at halt)."""
+    def drain(self, memory, output: list[int]) -> StoreBufferEvents:
+        """Retire every remaining committed entry (used at halt).
+
+        Returns the accumulated retirement events so the forensics layer
+        can fold halt-time retirements into the committed-effect stream.
+        """
         ccr = CCR(1)  # all-unspecified CCR: only non-speculative entries move
+        drained = StoreBufferEvents()
         while True:
             before = len(self._entries)
             events = self.tick(ccr, memory, output)
@@ -205,8 +210,13 @@ class PredicatedStoreBuffer:
                 raise ScheduleViolation(
                     "faulting store reached retirement during drain"
                 )
+            drained.committed.extend(events.committed)
+            drained.squashed.extend(events.squashed)
+            drained.retired_stores.extend(events.retired_stores)
+            drained.retired_outputs.extend(events.retired_outputs)
             if len(self._entries) == before:
                 break
+        return drained
 
     def pending_entries(self) -> list[StoreBufferEntry]:
         """The live entries, oldest first (for tests)."""

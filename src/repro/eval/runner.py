@@ -34,6 +34,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 from repro.analysis.branch_prediction import StaticPredictor, successive_accuracy
 from repro.ckpt.engine import (
@@ -54,6 +55,7 @@ from repro.machine.config import MachineConfig
 from repro.machine.scalar import ScalarRun, run_scalar
 from repro.machine.vliw import VLIWMachine
 from repro.obs.metrics import NULL_SINK, MetricsSink
+from repro.obs.runlog import NULL_RUN_LOG, RunLog
 from repro.workloads import Workload, all_workloads
 
 #: Bump to invalidate every cached cell (evaluator semantics changed).
@@ -195,6 +197,8 @@ class ExperimentContext:
         journal: Journal | None = None,
         checkpoint_every: int | None = None,
         supervisor: SignalSupervisor | None = None,
+        run_log: RunLog = NULL_RUN_LOG,
+        progress: Callable[[int, int, "RunnerStats"], None] | None = None,
     ):
         self.workloads = workloads if workloads is not None else all_workloads()
         self._baselines: dict[str, WorkloadBaseline] = {}
@@ -210,6 +214,7 @@ class ExperimentContext:
             cell_timeout=cell_timeout, max_retries=max_retries,
             retry_backoff=retry_backoff, fail_fast=fail_fast,
             sink=sink, journal=journal, supervisor=supervisor,
+            run_log=run_log, progress=progress,
         )
 
     def workload(self, name: str) -> Workload:
@@ -654,6 +659,8 @@ class CellRunner:
         sink: MetricsSink = NULL_SINK,
         journal: Journal | None = None,
         supervisor: SignalSupervisor | None = None,
+        run_log: RunLog = NULL_RUN_LOG,
+        progress: Callable[[int, int, RunnerStats], None] | None = None,
     ):
         self.ctx = ctx
         self.jobs = max(1, jobs)
@@ -666,8 +673,24 @@ class CellRunner:
         self.sink = sink
         self.journal = journal
         self.supervisor = supervisor
+        self.run_log = run_log
+        self.progress = progress
         self.stats = RunnerStats()
         self._ledgered: set[str] = set()
+        # Cumulative across run() batches, so one --progress line spans
+        # a whole experiment even when it fans cells out in stages.
+        self._cells_done = 0
+        self._cells_total = 0
+
+    def _cell_resolved(self, spec: CellSpec, outcome_kind: str) -> None:
+        """One cell reached a final state: log it and advance the meter."""
+        self._cells_done += 1
+        if self.run_log.enabled:
+            self.run_log.event(
+                "experiment.cell", label=spec.label(), outcome=outcome_kind
+            )
+        if self.progress is not None:
+            self.progress(self._cells_done, self._cells_total, self.stats)
 
     # -- cache ---------------------------------------------------------
     def _cache_path(self, key: str) -> Path:
@@ -728,6 +751,7 @@ class CellRunner:
 
     def run(self, specs: list[CellSpec]) -> list[dict]:
         started = time.perf_counter_ns()
+        self._cells_total += len(specs)
         keys = [
             cell_cache_key(
                 spec,
@@ -754,6 +778,7 @@ class CellRunner:
                 self.stats.ledger_hits += 1
                 if self.sink.enabled:
                     self.sink.count("runner.ledger_hits")
+                self._cell_resolved(specs[index], "ledger")
                 continue
             cached = self._cache_load(key)
             if cached is not None:
@@ -763,6 +788,7 @@ class CellRunner:
                     self.sink.count("runner.cache_hits")
                 # A cache hit completes the cell for resume purposes too.
                 self._journal_record(key, cached)
+                self._cell_resolved(specs[index], "cache")
             else:
                 pending.setdefault(key, []).append(index)
 
@@ -787,6 +813,11 @@ class CellRunner:
                     self._cache_store(key, spec, values)
                 for index in indices:
                     results[index] = values
+                # The first index was resolved live inside
+                # _evaluate_misses; duplicates of the same key resolve
+                # here, for free.
+                for _ in indices[1:]:
+                    self._cell_resolved(spec, "dedup")
 
         self.stats.wall_ns += time.perf_counter_ns() - started
         assert all(value is not None for value in results)
@@ -828,6 +859,9 @@ class CellRunner:
                 outcome = self._in_process(spec)
                 self._note_outcome(key, outcome)
                 outcomes.append(outcome)
+                self._cell_resolved(
+                    spec, "error" if is_error_cell(outcome) else "computed"
+                )
                 self._check_shutdown()
             return outcomes
         # Pre-warm every needed baseline in the parent: workers started
@@ -869,6 +903,9 @@ class CellRunner:
                 outcome = self._in_process(spec)
                 self._note_outcome(key, outcome)
                 outcomes.append(outcome)
+                self._cell_resolved(
+                    spec, "error" if is_error_cell(outcome) else "computed"
+                )
                 self._check_shutdown()
             return outcomes
 
@@ -883,6 +920,10 @@ class CellRunner:
             try:
                 outcomes[index] = future.result(timeout=self.cell_timeout)
                 self._note_outcome(keys[index], outcomes[index])
+                self._cell_resolved(
+                    todo[index],
+                    "error" if is_error_cell(outcomes[index]) else "computed",
+                )
             except TimeoutError:
                 # The worker is hung on this cell; healthy workers keep
                 # draining the queue, so keep collecting and terminate
@@ -915,6 +956,7 @@ class CellRunner:
                     self._terminate(pool)
                     raise
                 outcomes[index] = error_entry(todo[index], error, 1)
+                self._cell_resolved(todo[index], "error")
             self._check_shutdown(pool)
         if hung or broken:
             self._terminate(pool)
@@ -924,6 +966,10 @@ class CellRunner:
         for index in needs_isolation:
             outcomes[index] = self._isolated(todo[index])
             self._note_outcome(keys[index], outcomes[index])
+            self._cell_resolved(
+                todo[index],
+                "error" if is_error_cell(outcomes[index]) else "computed",
+            )
             self._check_shutdown()
         return outcomes
 
@@ -937,6 +983,12 @@ class CellRunner:
                 self.stats.retries += 1
                 if self.sink.enabled:
                     self.sink.count("runner.retries")
+                if self.run_log.enabled:
+                    self.run_log.event(
+                        "experiment.retry",
+                        label=spec.label(),
+                        attempt=attempts,
+                    )
                 time.sleep(delay)
                 delay *= 2
             attempts += 1

@@ -57,7 +57,7 @@ from repro.core.exceptions import (
     UnhandledFault,
 )
 from repro.core.predicate import ALWAYS, PredValue, Predicate
-from repro.core.regfile import PredicatedRegisterFile
+from repro.core.regfile import CommitEvents, PredicatedRegisterFile
 from repro.core.store_buffer import PredicatedStoreBuffer
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import FuClass
@@ -80,6 +80,8 @@ from repro.obs.diagnostics import (
     ProgramOverrun,
     StoreBufferDeadlock,
 )
+from repro.obs.effects import EffectStream
+from repro.obs.flight import NULL_RECORDER, FlightRecorder
 from repro.obs.metrics import NULL_SINK, MetricsSink
 from repro.obs.trace_events import CycleTraceRecorder
 from repro.sim.memory import Memory, MemoryFault
@@ -92,12 +94,19 @@ _MAX_CONSECUTIVE_STALLS = 1_000
 
 @dataclass
 class _InFlight:
-    """A result waiting for its writeback cycle."""
+    """A result waiting for its writeback cycle.
+
+    A faulting speculative access flies with its E flag attached so the
+    writeback lands in the shadow regfile at the same cycle a clean
+    access would -- landing it early would let an earlier-in-program-order
+    write from the same bundle supersede it in the wrong direction.
+    """
 
     due_cycle: int
     reg: int
     value: int
     pred: Predicate
+    fault: FaultRecord | None = None
 
 
 @dataclass
@@ -158,6 +167,8 @@ class VLIWMachine:
         record_events: bool = False,
         sink: MetricsSink = NULL_SINK,
         tracer: CycleTraceRecorder | None = None,
+        flight: FlightRecorder = NULL_RECORDER,
+        effects: EffectStream | None = None,
     ):
         program.validate()
         self.program = program
@@ -167,6 +178,8 @@ class VLIWMachine:
         self.max_cycles = max_cycles
         self.sink = sink
         self.tracer = tracer
+        self.flight = flight
+        self.effects = effects
 
         self.ccr = CCR(config.ccr_entries)
         self.control_path = ControlPath(self.ccr)
@@ -206,16 +219,23 @@ class VLIWMachine:
         )
 
         # Observability.  ``_observing`` guards every hot-path hook so a
-        # NullSink run with no tracer pays one boolean test per site.
+        # NullSink run with no tracer pays one boolean test per site;
+        # ``_forensics`` does the same for the flight recorder and the
+        # committed-effect stream.
         self._observing = sink.enabled or tracer is not None
+        self._forensics = flight.enabled or effects is not None
+        # Commit-value collection in the regfile tick is opt-in so a
+        # forensics-off run never pays the per-commit tuple.
+        self.regfile.collect_commit_values = self._forensics
         self._last_issued: deque[tuple[int, int]] = deque(
             maxlen=SNAPSHOT_BUNDLES
         )
-        if self._observing:
+        if self._observing or self._forensics:
             self._region_of_bundle = [0] * len(program.bundles)
             for index, span in enumerate(program.regions):
                 for bundle in range(span.start, span.end):
                     self._region_of_bundle[bundle] = index
+        if self._observing:
             self._current_region: int | None = None
             self._region_entry_cycle = 0
             self._recovery_entry_cycle: int | None = None
@@ -355,6 +375,8 @@ class VLIWMachine:
     def _tick(self) -> None:
         rf_events = self.regfile.tick(self.ccr)
         sb_events = self.store_buffer.tick(self.ccr, self.memory, self.output)
+        if self._forensics:
+            self._forensic_tick(rf_events, sb_events)
         if self._cycle_events is not None:
             self._cycle_events.committed += [f"r{r}" for r in rf_events.committed]
             self._cycle_events.squashed += [f"r{r}" for r in rf_events.squashed]
@@ -480,6 +502,120 @@ class VLIWMachine:
             self._recovery_entry_cycle = None
 
     # ------------------------------------------------------------------
+    # Forensics: flight recorder + committed-effect stream.
+    #
+    # Every call site guards with ``if self._forensics:`` so disabled
+    # runs pay one boolean test, mirroring ``_observing``.  Architectural
+    # effects are emitted exactly at the paper's commit points: regfile
+    # tick commits, non-speculative write-backs, store-buffer retirement
+    # and the halt-time drain.
+    # ------------------------------------------------------------------
+    def _region_name(self) -> str | None:
+        if 0 <= self.pc < len(self._region_of_bundle):
+            return self._region_label(self._region_of_bundle[self.pc])
+        return None
+
+    def _forensic_tick(self, rf_events, sb_events) -> None:
+        region = self._region_name()
+        cycle, pc = self.cycle, self.pc
+        flight = self.flight
+        effects = self.effects
+        if flight.enabled:
+            for reg in rf_events.squashed:
+                flight.record(cycle, pc, region, "reg.squash", f"r{reg}")
+            for serial in sb_events.committed:
+                flight.record(cycle, pc, region, "sb.commit", f"entry {serial}")
+            for serial in sb_events.squashed:
+                flight.record(cycle, pc, region, "sb.squash", f"entry {serial}")
+        for reg, value in rf_events.committed_values:
+            if flight.enabled:
+                flight.record(
+                    cycle, pc, region, "reg.commit", f"r{reg} = {value}"
+                )
+            if effects is not None:
+                effects.emit_reg(reg, value, cycle=cycle, pc=pc, region=region)
+        for address, value in sb_events.retired_stores:
+            if flight.enabled:
+                flight.record(
+                    cycle, pc, region, "sb.retire", f"mem[{address}] = {value}"
+                )
+            if effects is not None:
+                effects.emit_mem(
+                    address, value, cycle=cycle, pc=pc, region=region
+                )
+        for value in sb_events.retired_outputs:
+            if flight.enabled:
+                flight.record(cycle, pc, region, "sb.retire", f"out {value}")
+            if effects is not None:
+                effects.emit_out(value, cycle=cycle, pc=pc, region=region)
+
+    def _forensic_issue(self, bundle) -> None:
+        if not self.flight.enabled:
+            return
+        ops = "; ".join(format_instruction(op) for op in bundle)
+        mode = "[recovery] " if self.mode is MachineMode.RECOVERY else ""
+        self.flight.record(
+            self.cycle, self.pc, self._region_name(), "issue", f"{mode}{ops}"
+        )
+
+    def _forensic_writeback(self, entry: _InFlight, *, shadow: bool) -> None:
+        if entry.reg == self.regfile.zero_reg:
+            return
+        region = self._region_name()
+        pred = None if entry.pred.is_always else str(entry.pred)
+        if shadow:
+            if self.flight.enabled:
+                self.flight.record(
+                    self.cycle,
+                    self.pc,
+                    region,
+                    "reg.shadow",
+                    f"r{entry.reg} = {entry.value}",
+                    pred,
+                )
+            return
+        if self.flight.enabled:
+            self.flight.record(
+                self.cycle,
+                self.pc,
+                region,
+                "reg.write",
+                f"r{entry.reg} = {entry.value}",
+                pred,
+            )
+        if self.effects is not None:
+            self.effects.emit_reg(
+                entry.reg,
+                entry.value,
+                cycle=self.cycle,
+                pc=self.pc,
+                region=region,
+                pred=pred,
+            )
+
+    def _forensic_fault(self, kind: str, fault: FaultRecord, pred=None) -> None:
+        where = fault.address if fault.address is not None else "?"
+        pred_text = None if pred is None or pred.is_always else str(pred)
+        if self.flight.enabled:
+            self.flight.record(
+                self.cycle,
+                self.pc,
+                self._region_name(),
+                kind,
+                f"{fault.kind.value}@{where}",
+                pred_text,
+            )
+        if kind == "fault.handled" and self.effects is not None:
+            self.effects.emit_fault(
+                fault.kind.value,
+                fault.address if fault.address is not None else -1,
+                cycle=self.cycle,
+                pc=self.pc,
+                region=self._region_name(),
+                pred=pred_text,
+            )
+
+    # ------------------------------------------------------------------
     # Issue.
     # ------------------------------------------------------------------
     def _issue_and_finish(self, bundle) -> bool:
@@ -489,6 +625,8 @@ class VLIWMachine:
         self._last_issued.append((self.cycle, self.pc))
         if self._observing:
             self._observe_issue(bundle)
+        if self._forensics:
+            self._forensic_issue(bundle)
         in_recovery = self.mode is MachineMode.RECOVERY
         pending_ccr: list[tuple[int, bool]] = []
         pending_transfer: str | None = None
@@ -541,6 +679,14 @@ class VLIWMachine:
                         self.tracer.instant(
                             self.cycle, "ccr", f"c{index}={int(value)}"
                         )
+                if self._forensics and self.flight.enabled:
+                    self.flight.record(
+                        self.cycle,
+                        self.pc,
+                        self._region_name(),
+                        "ccr.write",
+                        f"c{index} = {int(value)}",
+                    )
         else:
             ccr_next = self.ccr
 
@@ -604,9 +750,18 @@ class VLIWMachine:
             return None
         if opcode == "out":
             value = self._read_src(op, 0)
-            self.store_buffer.append(
+            serial = self.store_buffer.append(
                 None, value, op.pred, speculative=speculative
             )
+            if self._forensics and self.flight.enabled:
+                self.flight.record(
+                    self.cycle,
+                    self.pc,
+                    self._region_name(),
+                    "sb.insert",
+                    f"entry {serial}: out {value}",
+                    str(op.pred) if speculative else None,
+                )
             return None
         if op.is_cond_set:
             values = self._source_values(op)
@@ -637,6 +792,16 @@ class VLIWMachine:
         address = effective_address(self._read_src(op, 0), op.imm or 0)
         reader_pred = op.pred if speculative else ALWAYS
         forwarded = self.store_buffer.lookup(address, reader_pred)
+        if self._forensics and self.flight.enabled:
+            outcome = "miss" if forwarded is None else f"hit {forwarded}"
+            self.flight.record(
+                self.cycle,
+                self.pc,
+                self._region_name(),
+                "sb.lookup",
+                f"mem[{address}] {outcome}",
+                str(op.pred) if speculative else None,
+            )
         if forwarded is not None:
             self._schedule_writeback(op, forwarded, speculative)
             return None
@@ -682,9 +847,20 @@ class VLIWMachine:
                     fault = None
         if fault is not None:
             self._maybe_fault = True
+            if self._forensics:
+                self._forensic_fault("fault.buffer", fault, op.pred)
         serial = self.store_buffer.append(
             address, value, op.pred, speculative=speculative, fault=fault
         )
+        if self._forensics and self.flight.enabled:
+            self.flight.record(
+                self.cycle,
+                self.pc,
+                self._region_name(),
+                "sb.insert",
+                f"entry {serial}: mem[{address}] = {value}",
+                str(op.pred) if speculative else None,
+            )
         if self._cycle_events is not None and speculative:
             self._cycle_events.speculative_writes.append(
                 (f"sb{serial}", str(op.pred))
@@ -716,11 +892,13 @@ class VLIWMachine:
         if decision is PredValue.TRUE:
             self._handle_nonspeculative_fault(op, fault)
             value = retry()
-            self._buffer_speculative(op, value, fault=None)
+            self._schedule_writeback(op, value, speculative=True)
         elif decision is PredValue.FALSE:
-            self._buffer_speculative(op, 0, fault=None)
+            self._schedule_writeback(op, 0, speculative=True)
         else:
-            self._buffer_speculative(op, 0, fault=fault)
+            if self._forensics:
+                self._forensic_fault("fault.buffer", fault, op.pred)
+            self._schedule_writeback(op, 0, speculative=True, fault=fault)
 
     def _future_verdict(self, op: Instruction) -> PredValue:
         """Decide *op*'s fault fate: UNSPEC outside recovery (buffer it)."""
@@ -732,10 +910,14 @@ class VLIWMachine:
         self, op: Instruction, fault: FaultRecord
     ) -> None:
         if self.fault_handler is None or not self.fault_handler(fault, self):
+            if self._forensics:
+                self._forensic_fault("fault.unhandled", fault, op.pred)
             raise UnhandledFault(fault)
         self.handled_faults += 1
         if self._observing:
             self.sink.count("machine.faults.handled")
+        if self._forensics:
+            self._forensic_fault("fault.handled", fault, op.pred)
 
     # ------------------------------------------------------------------
     # Operand access and writeback.
@@ -757,11 +939,17 @@ class VLIWMachine:
         return values
 
     def _schedule_writeback(
-        self, op: Instruction, value: int, speculative: bool
+        self,
+        op: Instruction,
+        value: int,
+        speculative: bool,
+        fault: FaultRecord | None = None,
     ) -> None:
         dest = op.dest_reg
         if dest is None:
             return
+        if fault is not None:
+            self._maybe_fault = True
         pred = op.pred if speculative else ALWAYS
         self._in_flight.append(
             _InFlight(
@@ -769,19 +957,9 @@ class VLIWMachine:
                 reg=dest,
                 value=value,
                 pred=pred,
+                fault=fault,
             )
         )
-
-    def _buffer_speculative(
-        self, op: Instruction, value: int, fault: FaultRecord | None
-    ) -> None:
-        """Immediate end-of-issue-cycle speculative buffering (fault path)."""
-        dest = op.dest_reg
-        if dest is None:
-            return
-        if fault is not None:
-            self._maybe_fault = True
-        self.regfile.write_speculative(dest, value, op.pred, fault=fault)
 
     def _apply_due_writebacks(self, ccr: CCR) -> None:
         still_flying: list[_InFlight] = []
@@ -791,25 +969,41 @@ class VLIWMachine:
                 continue
             verdict = ccr.evaluate(entry.pred)
             if verdict is PredValue.TRUE:
+                if entry.fault is not None:
+                    # Unreachable: _exception_commits scans in-flight
+                    # faults before any CCR update can make them TRUE.
+                    raise AssertionError(
+                        "exception commit escaped the combinational check"
+                    )
                 self.regfile.supersede_pending(entry.reg, ccr)
                 self.regfile.write_sequential(entry.reg, entry.value)
                 if self._cycle_events is not None:
                     self._cycle_events.sequential_writes.append(entry.reg)
+                if self._forensics:
+                    self._forensic_writeback(entry, shadow=False)
             elif verdict is PredValue.UNSPEC:
-                self.regfile.write_speculative(entry.reg, entry.value, entry.pred)
+                self.regfile.write_speculative(
+                    entry.reg, entry.value, entry.pred, fault=entry.fault
+                )
                 if self._cycle_events is not None:
                     self._cycle_events.speculative_writes.append(
                         (f"r{entry.reg}", str(entry.pred))
                     )
+                if self._forensics:
+                    self._forensic_writeback(entry, shadow=True)
             # FALSE: discarded.
         self._in_flight = still_flying
 
     def _flush_in_flight(self) -> None:
         """Complete TRUE-under-current in-flight results; drop the rest."""
         for entry in self._in_flight:
-            if self.ccr.evaluate(entry.pred) is PredValue.TRUE:
+            if entry.fault is None and (
+                self.ccr.evaluate(entry.pred) is PredValue.TRUE
+            ):
                 self.regfile.supersede_pending(entry.reg, self.ccr)
                 self.regfile.write_sequential(entry.reg, entry.value)
+                if self._forensics:
+                    self._forensic_writeback(entry, shadow=False)
         self._in_flight = []
 
     # ------------------------------------------------------------------
@@ -826,6 +1020,11 @@ class VLIWMachine:
         if not self._maybe_fault:
             return False
         fault_seen = False
+        for flying in self._in_flight:
+            if flying.fault is not None:
+                fault_seen = True
+                if ccr_next.evaluate(flying.pred) is PredValue.TRUE:
+                    return True
         for entry in self.regfile.entries:
             for write in entry.pending:
                 if write.fault is not None:
@@ -858,6 +1057,14 @@ class VLIWMachine:
         self.epc = self.pc
         self.pc = self.rpc
         self.mode = MachineMode.RECOVERY
+        if self._forensics and self.flight.enabled:
+            self.flight.record(
+                self.cycle,
+                self.pc,
+                self._region_name(),
+                "recovery.enter",
+                f"rollback to rpc={self.rpc}, epc={self.epc}",
+            )
 
     def _finish_recovery(self) -> None:
         assert self.future_ccr is not None
@@ -876,6 +1083,14 @@ class VLIWMachine:
         self.mode = MachineMode.NORMAL
         self.pc = self.epc + 1
         self.epc = None
+        if self._forensics and self.flight.enabled:
+            self.flight.record(
+                self.cycle,
+                self.pc,
+                self._region_name(),
+                "recovery.exit",
+                f"resume at pc={self.pc}",
+            )
 
     # ------------------------------------------------------------------
     # Transfers and halt.
@@ -883,6 +1098,17 @@ class VLIWMachine:
     def _transfer(self, target: str) -> None:
         destination = self.program.resolve(target)
         self._flush_in_flight()
+        if self._forensics and self.flight.enabled:
+            kind = (
+                "region" if destination in self._region_starts else "local"
+            )
+            self.flight.record(
+                self.cycle,
+                self.pc,
+                self._region_name(),
+                "transfer",
+                f"{kind} -> {target} (pc={destination})",
+            )
         if destination in self._region_starts:
             # Region transfer: speculative state is closed in the region --
             # anything still pending belongs to an untaken path.
@@ -909,8 +1135,20 @@ class VLIWMachine:
 
     def _drain_at_halt(self) -> None:
         self._flush_in_flight()
-        self.regfile.tick(self.ccr)
-        self.store_buffer.tick(self.ccr, self.memory, self.output)
+        rf_events = self.regfile.tick(self.ccr)
+        sb_events = self.store_buffer.tick(self.ccr, self.memory, self.output)
+        if self._forensics:
+            self._forensic_tick(rf_events, sb_events)
         self.regfile.invalidate_speculative()
         self.store_buffer.invalidate_speculative()
-        self.store_buffer.drain(self.memory, self.output)
+        drained = self.store_buffer.drain(self.memory, self.output)
+        if self._forensics:
+            self._forensic_tick(CommitEvents(), drained)
+            if self.flight.enabled:
+                self.flight.record(
+                    self.cycle,
+                    self.pc,
+                    self._region_name(),
+                    "halt",
+                    "store buffer drained",
+                )

@@ -1,0 +1,341 @@
+"""Canonical committed-effect streams and their comparison.
+
+An *effect* is a change to architectural state: a register write that
+committed, a memory word retired from the store buffer, an ``out``, or a
+handled fault.  The scalar interpreter emits effects directly as it
+executes; the VLIW machine emits them from the paper's commit points --
+shadow-regfile commits (CCR-decided TRUE verdicts), non-speculative
+write-backs, and store-buffer retirement/drain.  Squashed state never
+appears: the stream is the committed boundary of Colvin/Winter-style
+speculative semantics.
+
+Comparing the two sides needs care, because the scheduler is allowed to
+reorder some effects without changing architectural meaning:
+
+* ``out`` effects form a dependence chain (``compiler/dependence.py``),
+  so the ordered out stream is schedule-invariant -> compared strictly.
+* Memory operations are ordered only when they may alias.  Stores to the
+  *same* address always may-alias, so the per-address sequence of values
+  is schedule-invariant -> compared per address; cross-address
+  interleaving is not compared.
+* Register commit order across different registers depends on write-back
+  latency and bundle packing, and ``supersede_pending`` legitimately
+  collapses buffered writes -- so register effects are forensic context
+  only; architectural register equality is judged on the *final*
+  register file.
+* Handled faults are replayed by the recovery engine at a
+  schedule-dependent time, so they are reported but never compared.
+
+``first_divergence`` applies those rules in the oracle's severity order
+(output, then registers, then memory) and hands back the first effect
+that disagrees, ready to anchor a flight-recorder window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.flight import NULL_RECORDER, FlightRecorder
+
+__all__ = [
+    "Effect",
+    "EffectStream",
+    "EffectDivergence",
+    "first_divergence",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Effect:
+    """One committed architectural effect."""
+
+    seq: int
+    kind: str  # "reg" | "mem" | "out" | "fault"
+    locus: str  # "r5" | "mem[516]" | "out[3]" | "pagefault@516"
+    key: int | str  # register index / address / out ordinal / fault kind
+    value: int
+    cycle: int
+    pc: int
+    region: str | None
+    pred: str | None = None
+    flight_seq: int | None = None
+
+    def describe(self) -> str:
+        where = f"{self.region or '?'}@pc{self.pc}"
+        pred = f" [{self.pred}]" if self.pred else ""
+        return (
+            f"e{self.seq:<5} cyc={self.cycle:<6} {where:<10} "
+            f"{self.locus} = {self.value}{pred}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "locus": self.locus,
+            "key": self.key,
+            "value": self.value,
+            "cycle": self.cycle,
+            "pc": self.pc,
+            "region": self.region,
+            "pred": self.pred,
+            "flight_seq": self.flight_seq,
+        }
+
+
+class EffectStream:
+    """Ordered committed effects from one side of an execution.
+
+    When a live :class:`~repro.obs.flight.FlightRecorder` is attached,
+    each effect remembers the recorder's latest sequence number so a
+    +/-K event window can be cut around it later.
+    """
+
+    def __init__(
+        self, side: str, recorder: FlightRecorder = NULL_RECORDER
+    ) -> None:
+        self.side = side
+        self.recorder = recorder
+        self.effects: list[Effect] = []
+        self._out_count = 0
+
+    def __len__(self) -> int:
+        return len(self.effects)
+
+    def __iter__(self):
+        return iter(self.effects)
+
+    # ---- emission ------------------------------------------------------
+
+    def _emit(
+        self,
+        kind: str,
+        locus: str,
+        key: int | str,
+        value: int,
+        cycle: int,
+        pc: int,
+        region: str | None,
+        pred: str | None,
+    ) -> None:
+        flight_seq = self.recorder.seq - 1 if self.recorder.enabled else None
+        self.effects.append(
+            Effect(
+                seq=len(self.effects),
+                kind=kind,
+                locus=locus,
+                key=key,
+                value=value,
+                cycle=cycle,
+                pc=pc,
+                region=region,
+                pred=pred,
+                flight_seq=flight_seq,
+            )
+        )
+
+    def emit_reg(
+        self,
+        reg: int,
+        value: int,
+        *,
+        cycle: int,
+        pc: int,
+        region: str | None,
+        pred: str | None = None,
+    ) -> None:
+        self._emit("reg", f"r{reg}", reg, value, cycle, pc, region, pred)
+
+    def emit_mem(
+        self,
+        address: int,
+        value: int,
+        *,
+        cycle: int,
+        pc: int,
+        region: str | None,
+        pred: str | None = None,
+    ) -> None:
+        self._emit("mem", f"mem[{address}]", address, value, cycle, pc, region, pred)
+
+    def emit_out(
+        self,
+        value: int,
+        *,
+        cycle: int,
+        pc: int,
+        region: str | None,
+        pred: str | None = None,
+    ) -> None:
+        ordinal = self._out_count
+        self._out_count += 1
+        self._emit("out", f"out[{ordinal}]", ordinal, value, cycle, pc, region, pred)
+
+    def emit_fault(
+        self,
+        kind: str,
+        address: int,
+        *,
+        cycle: int,
+        pc: int,
+        region: str | None,
+        pred: str | None = None,
+    ) -> None:
+        self._emit("fault", f"{kind}@{address}", kind, address, cycle, pc, region, pred)
+
+    # ---- views ---------------------------------------------------------
+
+    def of_kind(self, kind: str) -> list[Effect]:
+        return [effect for effect in self.effects if effect.kind == kind]
+
+    def outs(self) -> list[Effect]:
+        return self.of_kind("out")
+
+    def mem_by_address(self) -> dict[int, list[Effect]]:
+        grouped: dict[int, list[Effect]] = {}
+        for effect in self.effects:
+            if effect.kind == "mem":
+                grouped.setdefault(effect.key, []).append(effect)
+        return grouped
+
+    def last_reg_effect(self, reg: int) -> Effect | None:
+        for effect in reversed(self.effects):
+            if effect.kind == "reg" and effect.key == reg:
+                return effect
+        return None
+
+    def last_effect(self) -> Effect | None:
+        return self.effects[-1] if self.effects else None
+
+    def to_dicts(self) -> list[dict]:
+        return [effect.to_dict() for effect in self.effects]
+
+
+@dataclass(frozen=True)
+class EffectDivergence:
+    """The first architecturally meaningful disagreement."""
+
+    channel: str  # "out" | "register" | "memory"
+    locus: str
+    index: int  # ordinal within the channel (out index / nth store / reg)
+    expected: int | None  # scalar side, None = effect missing
+    actual: int | None  # machine side, None = effect missing
+    scalar_effect: Effect | None
+    machine_effect: Effect | None
+
+    def describe(self) -> str:
+        def side(label: str, effect: Effect | None, value: int | None) -> str:
+            if effect is None:
+                shown = "<absent>" if value is None else str(value)
+                return f"{label}: {shown}"
+            return (
+                f"{label}: {effect.value} at cyc={effect.cycle} "
+                f"pc={effect.pc} region={effect.region or '?'}"
+            )
+
+        return (
+            f"first divergent effect: {self.channel} {self.locus}\n"
+            f"  {side('scalar ', self.scalar_effect, self.expected)}\n"
+            f"  {side('machine', self.machine_effect, self.actual)}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "channel": self.channel,
+            "locus": self.locus,
+            "index": self.index,
+            "expected": self.expected,
+            "actual": self.actual,
+            "scalar_effect": (
+                self.scalar_effect.to_dict() if self.scalar_effect else None
+            ),
+            "machine_effect": (
+                self.machine_effect.to_dict() if self.machine_effect else None
+            ),
+        }
+
+
+def _first_sequence_mismatch(
+    expected: list[Effect], actual: list[Effect]
+) -> int | None:
+    """Index of the first disagreement between two effect sequences."""
+    for index, (want, got) in enumerate(zip(expected, actual)):
+        if want.value != got.value:
+            return index
+    if len(expected) != len(actual):
+        return min(len(expected), len(actual))
+    return None
+
+
+def first_divergence(
+    scalar: EffectStream,
+    machine: EffectStream,
+    *,
+    scalar_registers: dict[int, int] | None = None,
+    machine_registers: dict[int, int] | None = None,
+) -> EffectDivergence | None:
+    """First schedule-invariant disagreement between the two streams.
+
+    Checks, in the oracle's severity order: the ordered ``out`` stream,
+    the final register files (when provided), then per-address store
+    sequences.  Returns ``None`` when every channel agrees.
+    """
+    # Output stream: strictly ordered, compared value by value.
+    scalar_outs = scalar.outs()
+    machine_outs = machine.outs()
+    index = _first_sequence_mismatch(scalar_outs, machine_outs)
+    if index is not None:
+        want = scalar_outs[index] if index < len(scalar_outs) else None
+        got = machine_outs[index] if index < len(machine_outs) else None
+        anchor_scalar = want or scalar.last_effect()
+        anchor_machine = got or machine.last_effect()
+        return EffectDivergence(
+            channel="out",
+            locus=f"out[{index}]",
+            index=index,
+            expected=want.value if want else None,
+            actual=got.value if got else None,
+            scalar_effect=anchor_scalar,
+            machine_effect=anchor_machine,
+        )
+
+    # Final register file: commit *order* across registers is schedule
+    # dependent, so only the architectural end state is compared.
+    if scalar_registers is not None and machine_registers is not None:
+        for reg in sorted(set(scalar_registers) | set(machine_registers)):
+            want_value = scalar_registers.get(reg, 0)
+            got_value = machine_registers.get(reg, 0)
+            if want_value != got_value:
+                return EffectDivergence(
+                    channel="register",
+                    locus=f"r{reg}",
+                    index=reg,
+                    expected=want_value,
+                    actual=got_value,
+                    scalar_effect=scalar.last_reg_effect(reg),
+                    machine_effect=machine.last_reg_effect(reg),
+                )
+
+    # Memory: per-address store sequences (same-address stores always
+    # may-alias, so their order is schedule-invariant).
+    scalar_mem = scalar.mem_by_address()
+    machine_mem = machine.mem_by_address()
+    for address in sorted(set(scalar_mem) | set(machine_mem)):
+        want_stores = scalar_mem.get(address, [])
+        got_stores = machine_mem.get(address, [])
+        index = _first_sequence_mismatch(want_stores, got_stores)
+        if index is None:
+            continue
+        want = want_stores[index] if index < len(want_stores) else None
+        got = got_stores[index] if index < len(got_stores) else None
+        return EffectDivergence(
+            channel="memory",
+            locus=f"mem[{address}]",
+            index=index,
+            expected=want.value if want else None,
+            actual=got.value if got else None,
+            scalar_effect=want or scalar.last_effect(),
+            machine_effect=got or machine.last_effect(),
+        )
+
+    return None

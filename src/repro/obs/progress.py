@@ -1,0 +1,74 @@
+"""A single-line live progress meter for long sweeps (``--progress``).
+
+Strictly stderr-only and carriage-return based: stdout artifacts stay
+byte-identical whether or not the meter is on, and piping stderr to a
+file degrades to one line per update rather than terminal garbage.
+
+    meter = ProgressLine("fuzz")
+    for ... : meter.update(done, total, detail="3 diverged")
+    meter.finish()
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+class ProgressLine:
+    """Renders ``[label] done/total (pct) detail elapsed E eta T``.
+
+    The line rewrites itself in place via ``\\r``; :meth:`finish` ends it
+    with a newline.  Updates are throttled to ~10/s so a fast loop does
+    not spend its time painting the terminal (the final state is always
+    painted by :meth:`finish`).
+    """
+
+    def __init__(self, label: str, *, stream=None, min_interval: float = 0.1):
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self._t0 = time.monotonic()
+        self._last_paint = 0.0
+        self._last_width = 0
+        self._last_args: tuple[int, int, str] | None = None
+
+    def update(self, done: int, total: int, detail: str = "") -> None:
+        self._last_args = (done, total, detail)
+        now = time.monotonic()
+        if now - self._last_paint < self.min_interval and done < total:
+            return
+        self._paint(done, total, detail, now)
+
+    def _paint(self, done: int, total: int, detail: str, now: float) -> None:
+        self._last_paint = now
+        elapsed = now - self._t0
+        if 0 < done <= total:
+            eta = _fmt_seconds(elapsed / done * (total - done))
+        else:
+            eta = "?"
+        pct = f"{done / total:.0%}" if total else "-"
+        parts = [f"[{self.label}] {done}/{total} ({pct})"]
+        if detail:
+            parts.append(detail)
+        parts.append(f"elapsed {_fmt_seconds(elapsed)} eta {eta}")
+        line = "  ".join(parts)
+        pad = max(0, self._last_width - len(line))
+        self._last_width = len(line)
+        self.stream.write("\r" + line + " " * pad)
+        self.stream.flush()
+
+    def finish(self) -> None:
+        """Paint the final state and terminate the line."""
+        if self._last_args is not None:
+            self._paint(*self._last_args, time.monotonic())
+        self.stream.write("\n")
+        self.stream.flush()

@@ -28,19 +28,32 @@ _PID = 1  # single simulated process
 
 
 class CycleTraceRecorder:
-    """Collects trace events during one machine run."""
+    """Collects trace events during one machine run.
 
-    def __init__(self, name: str = "vliw") -> None:
+    *pid* / *process* parametrize the Perfetto process row so two
+    recorders (e.g. machine vs scalar golden model) can be merged into a
+    single trace for visual diffing; the defaults keep single-run traces
+    byte-identical to the historical output.
+    """
+
+    def __init__(
+        self,
+        name: str = "vliw",
+        *,
+        pid: int = _PID,
+        process: str = "vliw-machine",
+    ) -> None:
         self.name = name
+        self.pid = pid
         self.events: list[dict] = []
         self._tids: dict[str, int] = {}
         self.events.append(
             {
                 "ph": "M",
-                "pid": _PID,
+                "pid": self.pid,
                 "tid": 0,
                 "name": "process_name",
-                "args": {"name": f"vliw-machine:{name}"},
+                "args": {"name": f"{process}:{name}"},
             }
         )
         for track in TRACKS:
@@ -53,7 +66,7 @@ class CycleTraceRecorder:
             self.events.append(
                 {
                     "ph": "M",
-                    "pid": _PID,
+                    "pid": self.pid,
                     "tid": tid,
                     "name": "thread_name",
                     "args": {"name": track},
@@ -75,7 +88,7 @@ class CycleTraceRecorder:
         """A duration event: one issued operation on an FU track."""
         event = {
             "ph": "X",
-            "pid": _PID,
+            "pid": self.pid,
             "tid": self._tid(track),
             "name": name,
             "ts": cycle,
@@ -91,7 +104,7 @@ class CycleTraceRecorder:
         """An instant event (CCR condition commits)."""
         event = {
             "ph": "i",
-            "pid": _PID,
+            "pid": self.pid,
             "tid": self._tid(track),
             "name": name,
             "ts": cycle,

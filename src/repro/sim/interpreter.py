@@ -28,6 +28,7 @@ from repro.ir.cfg import CFG
 from repro.isa.instruction import Instruction
 from repro.isa.program import Program
 from repro.isa.registers import NUM_CREGS, NUM_REGS, ZERO_REG
+from repro.isa.printer import format_instruction
 from repro.isa.semantics import (
     ArithmeticFault,
     eval_alu,
@@ -35,6 +36,8 @@ from repro.isa.semantics import (
     effective_address,
 )
 from repro.obs.diagnostics import InterpreterSnapshot
+from repro.obs.effects import EffectStream
+from repro.obs.flight import NULL_RECORDER, FlightRecorder
 from repro.obs.metrics import NULL_SINK, MetricsSink
 from repro.sim.memory import Memory, MemoryFault
 from repro.sim.trace import DynamicTrace
@@ -100,6 +103,8 @@ class Interpreter:
         fault_handler: FaultHandler | None = None,
         max_steps: int = DEFAULT_MAX_STEPS,
         sink: MetricsSink = NULL_SINK,
+        flight: FlightRecorder = NULL_RECORDER,
+        effects: EffectStream | None = None,
     ):
         program.validate()
         for instruction in program.instructions:
@@ -113,6 +118,14 @@ class Interpreter:
         self.fault_handler = fault_handler
         self.max_steps = max_steps
         self.sink = sink
+        # Forensics: the scalar side emits every architectural effect
+        # directly at execution -- there is no speculative state to
+        # commit, so the effect stream *is* the instruction stream's
+        # architectural footprint.  Guarded like ``sink.enabled``.
+        self.flight = flight
+        self.effects = effects
+        self._forensics = flight.enabled or effects is not None
+        self._current_block: int | None = None
         self.registers = [0] * NUM_REGS
         self.cregs = [False] * NUM_CREGS
         self.output: list[int] = []
@@ -192,6 +205,14 @@ class Interpreter:
     def _step(self, instruction: Instruction) -> None:
         self.steps += 1
         self.scalar_cycles += 1
+        if self._forensics and self.flight.enabled:
+            self.flight.record(
+                self.scalar_cycles,
+                self.pc,
+                self._region_name(),
+                "issue",
+                format_instruction(instruction),
+            )
         observing = self.sink.enabled
         if observing:
             self.sink.count("scalar.instructions")
@@ -214,15 +235,23 @@ class Interpreter:
                 )
                 value = self.memory.load(address)
                 self.write_reg(instruction.dest_reg, value)
+                if self._forensics:
+                    self._forensic_reg(instruction.dest_reg, value)
                 next_load_dest = instruction.dest_reg
             elif opcode == "st":
                 value_reg, addr_reg = instruction.src_regs
                 address = effective_address(
                     self.read_reg(addr_reg), instruction.imm or 0
                 )
-                self.memory.store(address, self.read_reg(value_reg))
+                value = self.read_reg(value_reg)
+                self.memory.store(address, value)
+                if self._forensics:
+                    self._forensic_mem(address, value)
             elif opcode == "out":
-                self.output.append(self.read_reg(instruction.src_regs[0]))
+                value = self.read_reg(instruction.src_regs[0])
+                self.output.append(value)
+                if self._forensics:
+                    self._forensic_out(value)
             elif opcode == "br" or opcode == "brf":
                 condition = self.cregs[instruction.src_cregs[0]]
                 taken = condition if opcode == "br" else not condition
@@ -241,19 +270,35 @@ class Interpreter:
                 values = [self.read_reg(r) for r in instruction.src_regs]
                 if instruction.imm is not None:
                     values.append(instruction.imm)
-                self.cregs[instruction.dest_creg] = eval_cond(opcode, *values)
+                condition = eval_cond(opcode, *values)
+                self.cregs[instruction.dest_creg] = condition
+                if self._forensics and self.flight.enabled:
+                    self.flight.record(
+                        self.scalar_cycles,
+                        self.pc,
+                        self._region_name(),
+                        "ccr.write",
+                        f"c{instruction.dest_creg} = {int(condition)}",
+                    )
             else:
                 values = [self.read_reg(r) for r in instruction.src_regs]
                 if instruction.imm is not None:
                     values.append(instruction.imm)
-                self.write_reg(instruction.dest_reg, eval_alu(opcode, *values))
+                value = eval_alu(opcode, *values)
+                self.write_reg(instruction.dest_reg, value)
+                if self._forensics:
+                    self._forensic_reg(instruction.dest_reg, value)
         except (MemoryFault, ArithmeticFault) as error:
             fault = _fault_record(error, instruction)
             if self.fault_handler is None or not self.fault_handler(fault, self):
+                if self._forensics:
+                    self._forensic_fault("fault.unhandled", fault)
                 raise UnhandledFault(fault) from error
             self.handled_faults += 1
             if observing:
                 self.sink.count("scalar.faults.handled")
+            if self._forensics:
+                self._forensic_fault("fault.handled", fault)
             return  # re-execute the repaired instruction; pc unchanged
 
         if taken_transfer:
@@ -261,6 +306,14 @@ class Interpreter:
             if observing:
                 self.sink.count("scalar.cycles")
                 self.sink.count("scalar.taken_transfers")
+            if self._forensics and self.flight.enabled:
+                self.flight.record(
+                    self.scalar_cycles,
+                    self.pc,
+                    self._region_name(),
+                    "transfer",
+                    f"-> pc={next_pc}",
+                )
         self._last_load_dest = next_load_dest
         self.pc = next_pc
         if taken_transfer or self.pc in self._block_of_index:
@@ -278,9 +331,77 @@ class Interpreter:
     def _note_block_entry(self, index: int) -> None:
         if index in self._block_of_index:
             block = self._block_of_index[index]
+            self._current_block = block
             self._recent_blocks.append(block)
             if self.trace is not None:
                 self.trace.record_block(block)
+
+    # ------------------------------------------------------------------
+    # Forensics (guarded by ``self._forensics`` at every call site).
+    # ------------------------------------------------------------------
+    def _region_name(self) -> str | None:
+        if self._current_block is None:
+            return None
+        return f"B{self._current_block}"
+
+    def _forensic_reg(self, reg: int, value: int) -> None:
+        if reg == ZERO_REG:
+            return
+        region = self._region_name()
+        if self.flight.enabled:
+            self.flight.record(
+                self.scalar_cycles, self.pc, region, "reg.write", f"r{reg} = {value}"
+            )
+        if self.effects is not None:
+            self.effects.emit_reg(
+                reg, value, cycle=self.scalar_cycles, pc=self.pc, region=region
+            )
+
+    def _forensic_mem(self, address: int, value: int) -> None:
+        region = self._region_name()
+        if self.flight.enabled:
+            self.flight.record(
+                self.scalar_cycles,
+                self.pc,
+                region,
+                "mem.store",
+                f"mem[{address}] = {value}",
+            )
+        if self.effects is not None:
+            self.effects.emit_mem(
+                address, value, cycle=self.scalar_cycles, pc=self.pc, region=region
+            )
+
+    def _forensic_out(self, value: int) -> None:
+        region = self._region_name()
+        if self.flight.enabled:
+            self.flight.record(
+                self.scalar_cycles, self.pc, region, "out", f"out {value}"
+            )
+        if self.effects is not None:
+            self.effects.emit_out(
+                value, cycle=self.scalar_cycles, pc=self.pc, region=region
+            )
+
+    def _forensic_fault(self, kind: str, fault: FaultRecord) -> None:
+        region = self._region_name()
+        where = fault.address if fault.address is not None else "?"
+        if self.flight.enabled:
+            self.flight.record(
+                self.scalar_cycles,
+                self.pc,
+                region,
+                kind,
+                f"{fault.kind.value}@{where}",
+            )
+        if kind == "fault.handled" and self.effects is not None:
+            self.effects.emit_fault(
+                fault.kind.value,
+                fault.address if fault.address is not None else -1,
+                cycle=self.scalar_cycles,
+                pc=self.pc,
+                region=region,
+            )
 
     def _current_block_start(self) -> int:
         """Start index of the block containing the current pc."""
@@ -336,6 +457,8 @@ def run_program(
     fault_handler: FaultHandler | None = None,
     max_steps: int = DEFAULT_MAX_STEPS,
     sink: MetricsSink = NULL_SINK,
+    flight: FlightRecorder = NULL_RECORDER,
+    effects: EffectStream | None = None,
 ) -> InterpreterResult:
     """Convenience wrapper: construct an :class:`Interpreter` and run it."""
     interpreter = Interpreter(
@@ -345,5 +468,7 @@ def run_program(
         fault_handler=fault_handler,
         max_steps=max_steps,
         sink=sink,
+        flight=flight,
+        effects=effects,
     )
     return interpreter.run()

@@ -12,7 +12,11 @@ This package enforces that claim systematically:
 * :mod:`repro.verify.shrink` -- delta-debugging minimizer producing
   replayable JSON repro cases;
 * :mod:`repro.verify.faults` -- fault-injection campaigns corrupting
-  buffered speculative state mid-run.
+  buffered speculative state mid-run;
+* :mod:`repro.verify.tracediff` -- lockstep forensics: both models run
+  instrumented with flight recorders and committed-effect streams, and
+  the first divergent architectural effect is pinpointed with +-K-event
+  context windows (``repro diff-trace``).
 """
 
 from repro.verify.case import CASE_SCHEMA, ReproCase
@@ -27,6 +31,14 @@ from repro.verify.oracle import (
     run_oracle,
 )
 from repro.verify.shrink import ShrinkResult, shrink_case
+from repro.verify.tracediff import (
+    TRACEDIFF_SCHEMA,
+    TraceDiffResult,
+    diff_trace_case,
+    merged_trace,
+    run_diff_trace,
+    validate_tracediff,
+)
 
 __all__ = [
     "CASE_SCHEMA",
@@ -37,10 +49,16 @@ __all__ = [
     "OracleResult",
     "ReproCase",
     "ShrinkResult",
+    "TRACEDIFF_SCHEMA",
+    "TraceDiffResult",
     "VERIFY_MODELS",
+    "diff_trace_case",
+    "merged_trace",
     "resolve_model",
+    "run_diff_trace",
     "run_fault_campaign",
     "run_fuzz",
     "run_oracle",
     "shrink_case",
+    "validate_tracediff",
 ]

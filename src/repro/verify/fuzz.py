@@ -28,6 +28,7 @@ from repro.ckpt.journal import Journal
 from repro.ckpt.signals import SignalSupervisor
 from repro.machine.config import MachineConfig, base_machine, full_issue_machine
 from repro.obs.metrics import NULL_SINK, MetricsSink
+from repro.obs.runlog import NULL_RUN_LOG, RunLog
 from repro.verify.case import ReproCase
 from repro.verify.oracle import OracleResult, resolve_model
 from repro.verify.shrink import ShrinkResult, shrink_case
@@ -244,6 +245,7 @@ def run_fuzz(
     progress=None,
     journal: Journal | None = None,
     supervisor: SignalSupervisor | None = None,
+    run_log: RunLog = NULL_RUN_LOG,
 ) -> FuzzReport:
     """Run *campaigns* differential campaigns derived from *seed*.
 
@@ -251,6 +253,11 @@ def run_fuzz(
     before serialization; with *out_dir*, each finding's case is saved as
     ``case-<seed>-<index>.json`` there.  *machine_factory* substitutes a
     (possibly deliberately broken) machine for every campaign.
+
+    *progress* is called once per campaign as ``progress(spec, result)``
+    -- with ``result=None`` for campaigns replayed from the journal
+    ledger, which never re-execute.  *run_log* receives one
+    ``fuzz.campaign`` record per campaign.
 
     With a *journal*, each completed campaign is ledgered; a resumed run
     replays ledgered *equivalent* campaigns from their recorded counters
@@ -277,6 +284,17 @@ def run_fuzz(
             report.replayed += 1
             if sink.enabled:
                 sink.count("fuzz.campaigns.replayed")
+            if run_log.enabled:
+                run_log.event(
+                    "fuzz.campaign",
+                    seed=seed,
+                    index=index,
+                    label=spec.label(),
+                    equivalent=True,
+                    replayed=True,
+                )
+            if progress is not None:
+                progress(spec, None)
             continue
         case = build_case(spec)
         result = case.run(machine_factory=machine_factory, sink=sink)
@@ -304,6 +322,7 @@ def run_fuzz(
                     case,
                     machine_factory=machine_factory,
                     category=result.report.category,
+                    initial_result=result,
                     sink=sink,
                 )
                 finding.case = finding.shrink.case
@@ -313,6 +332,17 @@ def run_fuzz(
                 )
                 finding.case_path = str(path)
             report.findings.append(finding)
+        if run_log.enabled:
+            run_log.event(
+                "fuzz.campaign",
+                seed=seed,
+                index=index,
+                label=spec.label(),
+                equivalent=result.equivalent,
+                replayed=False,
+                recoveries=result.recoveries,
+                machine_faults=result.machine_faults,
+            )
         if progress is not None:
             progress(spec, result)
         if supervisor is not None and supervisor.pending is not None:

@@ -4,9 +4,12 @@ Given a :class:`~repro.verify.case.ReproCase` whose oracle run diverges,
 ``shrink_case`` greedily removes chunks of program lines (halving chunk
 sizes, ddmin-style) while the *same category* of divergence still
 reproduces.  Candidates that fail to parse, fail validation, stop
-diverging, or diverge differently are rejected; livelocked candidates are
-cut off by tight step/cycle budgets and rejected too.  The result is a
-minimal case serializable to JSON and replayable via
+diverging, or diverge differently are rejected; livelocked candidates
+are cut off by *adaptive* step/cycle budgets -- a small multiple of what
+the unshrunk case actually needed, not the static worst-case ceilings --
+so a mutation that turns the program into an infinite loop costs
+milliseconds to reject instead of seconds.  The result is a minimal case
+serializable to JSON and replayable via
 ``repro verify --replay CASE.json``.
 """
 
@@ -17,11 +20,38 @@ from dataclasses import dataclass
 
 from repro.obs.metrics import NULL_SINK, MetricsSink
 from repro.verify.case import ReproCase
+from repro.verify.oracle import OracleResult
 
-#: Execution budgets for candidate runs: a shrunk synthetic program is
-#: tiny, so anything still running after this is a livelock, not a repro.
+#: Worst-case execution budgets: a shrunk synthetic program is tiny, so
+#: anything still running after this is a livelock, not a repro.  These
+#: bound the *initial* (unshrunk) run and cap the adaptive budgets.
 SHRINK_MAX_STEPS = 200_000
 SHRINK_MAX_CYCLES = 2_000_000
+
+#: Candidate budgets scale with the initial run: removing lines cannot
+#: legitimately make the program run much longer, so a candidate gets
+#: ``margin * observed`` (floored -- tiny programs deserve slack for
+#: recovery replays -- and capped at the static ceilings above).
+SHRINK_BUDGET_MARGIN = 8
+SHRINK_MIN_STEPS = 2_000
+SHRINK_MIN_CYCLES = 10_000
+
+
+def candidate_budgets(initial: OracleResult | None) -> tuple[int, int]:
+    """Step/cycle budgets for candidate runs, from the *initial* run.
+
+    Falls back to the static ceilings when the initial run's cycle
+    counts are unknown (e.g. it crashed before completing).
+    """
+    if initial is None:
+        return SHRINK_MAX_STEPS, SHRINK_MAX_CYCLES
+    observed = max(initial.scalar_cycles or 0, initial.machine_cycles or 0)
+    if observed <= 0:
+        return SHRINK_MAX_STEPS, SHRINK_MAX_CYCLES
+    scaled = observed * SHRINK_BUDGET_MARGIN
+    steps = min(SHRINK_MAX_STEPS, max(SHRINK_MIN_STEPS, scaled))
+    cycles = min(SHRINK_MAX_CYCLES, max(SHRINK_MIN_CYCLES, scaled))
+    return steps, cycles
 
 
 @dataclass
@@ -49,18 +79,21 @@ def _reproduces(
     category: str,
     machine_factory,
     sink: MetricsSink,
+    max_steps: int,
+    max_cycles: int,
 ) -> bool:
     """Does *case* still produce a *category* divergence?"""
     try:
         result = case.run(
             machine_factory=machine_factory,
-            max_steps=SHRINK_MAX_STEPS,
-            max_cycles=SHRINK_MAX_CYCLES,
+            max_steps=max_steps,
+            max_cycles=max_cycles,
             sink=sink,
         )
     except Exception:
         # Unparseable/invalid/degenerate candidate (e.g. an unhandled
-        # fault during the training run): not a reproduction.
+        # fault during the training run, or a livelocked candidate
+        # exceeding its adaptive budget): not a reproduction.
         return False
     return result.report is not None and result.report.category == category
 
@@ -70,28 +103,34 @@ def shrink_case(
     *,
     machine_factory=None,
     category: str | None = None,
+    initial_result: OracleResult | None = None,
     max_attempts: int = 2_000,
     sink: MetricsSink = NULL_SINK,
 ) -> ShrinkResult:
     """Minimize *case* while its divergence keeps reproducing.
 
     *category* pins the divergence class to preserve (defaults to the
-    category the unshrunk case produces).  *machine_factory* must match
-    whatever produced the original divergence (e.g. a deliberately broken
-    machine subclass under test).
+    category the unshrunk case produces).  *initial_result* is the
+    unshrunk case's oracle result, if the caller already has it -- its
+    cycle counts size the per-candidate livelock budgets
+    (:func:`candidate_budgets`); when absent the initial case is run
+    here.  *machine_factory* must match whatever produced the original
+    divergence (e.g. a deliberately broken machine subclass under test).
     """
-    if category is None:
-        initial = case.run(
+    if category is None or initial_result is None:
+        initial_result = case.run(
             machine_factory=machine_factory,
             max_steps=SHRINK_MAX_STEPS,
             max_cycles=SHRINK_MAX_CYCLES,
             sink=sink,
         )
-        if initial.report is None:
-            raise ValueError(
-                f"{case.name}: case does not diverge; nothing to shrink"
-            )
-        category = initial.report.category
+        if category is None:
+            if initial_result.report is None:
+                raise ValueError(
+                    f"{case.name}: case does not diverge; nothing to shrink"
+                )
+            category = initial_result.report.category
+    max_steps, max_cycles = candidate_budgets(initial_result)
 
     original_instructions = case.instruction_count()
     lines = case.program_text.splitlines()
@@ -115,7 +154,14 @@ def shrink_case(
             attempts += 1
             if sink.enabled:
                 sink.count("shrink.candidates")
-            if _reproduces(candidate(kept), category, machine_factory, sink):
+            if _reproduces(
+                candidate(kept),
+                category,
+                machine_factory,
+                sink,
+                max_steps,
+                max_cycles,
+            ):
                 lines = kept
                 removed_any = True
                 accepted += 1

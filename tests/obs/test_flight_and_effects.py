@@ -1,0 +1,183 @@
+"""Flight-recorder ring bounds and committed-effect stream semantics.
+
+The forensics layer stands on two invariants: the flight recorder's
+memory stays O(capacity) no matter how long the run is (it is a flight
+recorder -- you read it backwards from the crash), and the effect-stream
+comparison only flags *schedule-variant* disagreements, never the
+reorderings the compiler is allowed to make.
+"""
+
+import pytest
+
+from repro.obs.effects import EffectStream, first_divergence
+from repro.obs.flight import (
+    NULL_RECORDER,
+    FlightRecorder,
+    RingRecorder,
+)
+
+
+class TestRingBounds:
+    def test_capacity_is_enforced(self):
+        ring = RingRecorder(capacity=16)
+        for n in range(1000):
+            ring.record(n, n, "R0", "issue", f"op{n}")
+        assert len(ring) == 16
+        assert ring.seq == 1000
+        assert ring.dropped == 984
+        # The ring holds exactly the newest events, in order.
+        kept = ring.events()
+        assert [event.seq for event in kept] == list(range(984, 1000))
+
+    def test_under_capacity_drops_nothing(self):
+        ring = RingRecorder(capacity=64)
+        for n in range(10):
+            ring.record(n, n, None, "issue", "op")
+        assert len(ring) == 10
+        assert ring.dropped == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            RingRecorder(capacity=0)
+
+    def test_window_cuts_plus_minus_k(self):
+        ring = RingRecorder(capacity=100)
+        for n in range(50):
+            ring.record(n, n, None, "issue", f"op{n}")
+        window = ring.window(25, 3)
+        assert [event.seq for event in window] == [22, 23, 24, 25, 26, 27, 28]
+
+    def test_window_clips_to_what_survived_eviction(self):
+        ring = RingRecorder(capacity=8)
+        for n in range(100):
+            ring.record(n, n, None, "issue", "op")
+        # Anchor long since evicted: nothing to show.
+        assert ring.window(10, 3) == []
+        # Anchor near the tail: only the surviving side remains.
+        window = ring.window(93, 2)
+        assert [event.seq for event in window] == [92, 93, 94, 95]
+
+
+class TestDisabledRecorder:
+    def test_null_recorder_is_disabled_and_inert(self):
+        assert NULL_RECORDER.enabled is False
+        NULL_RECORDER.record(1, 2, "R0", "issue", "op")
+        assert NULL_RECORDER.seq == 0
+        assert NULL_RECORDER.events() == []
+        assert NULL_RECORDER.window(0, 10) == []
+
+    def test_base_class_is_the_disabled_implementation(self):
+        assert FlightRecorder.enabled is False
+
+
+def _stream(side="scalar", effects=()):
+    stream = EffectStream(side)
+    for kind, key, value in effects:
+        if kind == "out":
+            stream.emit_out(value, cycle=0, pc=0, region=None)
+        elif kind == "mem":
+            stream.emit_mem(key, value, cycle=0, pc=0, region=None)
+        elif kind == "reg":
+            stream.emit_reg(key, value, cycle=0, pc=0, region=None)
+    return stream
+
+
+class TestEffectStream:
+    def test_effects_anchor_to_the_flight_recorder(self):
+        ring = RingRecorder(capacity=8)
+        stream = EffectStream("machine", ring)
+        ring.record(0, 0, None, "issue", "op0")
+        ring.record(0, 0, None, "issue", "op1")
+        stream.emit_out(7, cycle=0, pc=0, region=None)
+        assert stream.effects[-1].flight_seq == 1
+
+    def test_out_ordinals_increment(self):
+        stream = _stream(effects=[("out", None, 1), ("out", None, 2)])
+        assert [effect.locus for effect in stream.outs()] == [
+            "out[0]",
+            "out[1]",
+        ]
+
+
+class TestFirstDivergence:
+    def test_agreeing_streams_have_no_divergence(self):
+        effects = [("out", None, 1), ("mem", 100, 5), ("reg", 3, 9)]
+        assert (
+            first_divergence(_stream(effects=effects), _stream(effects=effects))
+            is None
+        )
+
+    def test_out_stream_is_compared_strictly(self):
+        scalar = _stream(effects=[("out", None, 1), ("out", None, 2)])
+        machine = _stream(effects=[("out", None, 1), ("out", None, 99)])
+        divergence = first_divergence(scalar, machine)
+        assert divergence is not None
+        assert divergence.channel == "out"
+        assert divergence.locus == "out[1]"
+        assert divergence.expected == 2
+        assert divergence.actual == 99
+
+    def test_missing_out_effect_reported_as_absent(self):
+        scalar = _stream(effects=[("out", None, 1), ("out", None, 2)])
+        machine = _stream(effects=[("out", None, 1)])
+        divergence = first_divergence(scalar, machine)
+        assert divergence.channel == "out"
+        assert divergence.actual is None
+
+    def test_cross_address_store_interleaving_is_not_compared(self):
+        # The scheduler may reorder non-aliasing stores: same per-address
+        # value sequences in a different global interleave must agree.
+        scalar = _stream(effects=[("mem", 100, 1), ("mem", 200, 2)])
+        machine = _stream(effects=[("mem", 200, 2), ("mem", 100, 1)])
+        assert first_divergence(scalar, machine) is None
+
+    def test_same_address_store_order_is_compared(self):
+        scalar = _stream(effects=[("mem", 100, 1), ("mem", 100, 2)])
+        machine = _stream(effects=[("mem", 100, 2), ("mem", 100, 1)])
+        divergence = first_divergence(scalar, machine)
+        assert divergence is not None
+        assert divergence.channel == "memory"
+        assert divergence.locus == "mem[100]"
+
+    def test_register_commit_order_is_forensic_only(self):
+        # Different commit order, same final state: equivalent.
+        scalar = _stream(effects=[("reg", 1, 10), ("reg", 2, 20)])
+        machine = _stream(effects=[("reg", 2, 20), ("reg", 1, 10)])
+        finals = {1: 10, 2: 20}
+        assert (
+            first_divergence(
+                scalar,
+                machine,
+                scalar_registers=finals,
+                machine_registers=dict(finals),
+            )
+            is None
+        )
+
+    def test_final_register_mismatch_is_flagged(self):
+        scalar = _stream(effects=[("reg", 5, 7)])
+        machine = _stream(effects=[("reg", 5, 20)])
+        divergence = first_divergence(
+            scalar,
+            machine,
+            scalar_registers={5: 7},
+            machine_registers={5: 20},
+        )
+        assert divergence.channel == "register"
+        assert divergence.locus == "r5"
+        assert divergence.expected == 7
+        assert divergence.actual == 20
+        # The anchors point at each side's last write to that register.
+        assert divergence.scalar_effect.value == 7
+        assert divergence.machine_effect.value == 20
+
+    def test_out_divergence_outranks_register_divergence(self):
+        scalar = _stream(effects=[("out", None, 1)])
+        machine = _stream(effects=[("out", None, 2)])
+        divergence = first_divergence(
+            scalar,
+            machine,
+            scalar_registers={1: 1},
+            machine_registers={1: 99},
+        )
+        assert divergence.channel == "out"

@@ -1,0 +1,151 @@
+"""JSONL run logging (``--log-json``) and the live progress meter."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.progress import ProgressLine, _fmt_seconds
+from repro.obs.runlog import (
+    NULL_RUN_LOG,
+    JsonlRunLog,
+    NullRunLog,
+    RunLog,
+    read_runlog,
+)
+
+
+class TestNullRunLog:
+    def test_disabled_and_inert(self):
+        assert NULL_RUN_LOG.enabled is False
+        NULL_RUN_LOG.event("anything", value=1)
+        NULL_RUN_LOG.close()
+
+    def test_base_class_is_the_disabled_implementation(self):
+        assert RunLog.enabled is False
+        assert isinstance(NULL_RUN_LOG, NullRunLog)
+
+    def test_context_manager(self):
+        with NullRunLog() as log:
+            log.event("x")
+
+
+class TestJsonlRunLog:
+    def test_start_and_end_bracket_the_run(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlRunLog(path) as log:
+            log.event("fuzz.campaign", seed=7, equivalent=True)
+        records = read_runlog(path)
+        assert [record["kind"] for record in records] == [
+            "run.start",
+            "fuzz.campaign",
+            "run.end",
+        ]
+        assert records[1]["seed"] == 7
+        assert records[1]["equivalent"] is True
+
+    def test_seq_is_monotonic_and_run_id_shared(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlRunLog(path) as log:
+            for n in range(5):
+                log.event("tick", n=n)
+        records = read_runlog(path)
+        assert [record["seq"] for record in records] == list(
+            range(len(records))
+        )
+        assert len({record["run_id"] for record in records}) == 1
+
+    def test_append_mode_shares_one_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlRunLog(path):
+            pass
+        with JsonlRunLog(path):
+            pass
+        records = read_runlog(path)
+        assert len(records) == 4  # two start/end pairs
+        assert len({record["run_id"] for record in records}) == 2
+
+    def test_close_is_idempotent(self, tmp_path):
+        log = JsonlRunLog(tmp_path / "run.jsonl")
+        log.close()
+        log.close()
+        log.event("after", x=1)  # dropped, not crashed
+        assert len(read_runlog(log.path)) == 2
+
+    def test_parent_directories_are_created(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "run.jsonl"
+        with JsonlRunLog(path):
+            pass
+        assert path.exists()
+
+    def test_every_line_is_json(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlRunLog(path) as log:
+            log.event("x", value="text")
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+
+class TestReadRunlog:
+    def test_bad_json_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "ok", "seq": 0}\nnot json\n')
+        with pytest.raises(ValueError, match="bad JSON line"):
+            read_runlog(path)
+
+    def test_non_record_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"no_kind": true}\n')
+        with pytest.raises(ValueError, match="not a run-log record"):
+            read_runlog(path)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "gappy.jsonl"
+        path.write_text('{"kind": "a"}\n\n{"kind": "b"}\n')
+        assert [r["kind"] for r in read_runlog(path)] == ["a", "b"]
+
+
+class TestProgressLine:
+    def test_paints_and_finishes(self):
+        stream = io.StringIO()
+        meter = ProgressLine("fuzz", stream=stream, min_interval=0.0)
+        meter.update(1, 4, "0 diverged")
+        meter.update(4, 4, "0 diverged")
+        meter.finish()
+        text = stream.getvalue()
+        assert "[fuzz] 1/4 (25%)" in text
+        assert "[fuzz] 4/4 (100%)" in text
+        assert "0 diverged" in text
+        assert text.endswith("\n")
+
+    def test_rewrites_in_place_with_carriage_returns(self):
+        stream = io.StringIO()
+        meter = ProgressLine("x", stream=stream, min_interval=0.0)
+        meter.update(1, 2)
+        meter.update(2, 2)
+        assert stream.getvalue().count("\r") == 2
+        assert "\n" not in stream.getvalue()
+
+    def test_throttling_skips_fast_updates_but_keeps_the_last(self):
+        stream = io.StringIO()
+        meter = ProgressLine("x", stream=stream, min_interval=3600.0)
+        meter.update(1, 100)  # painted: first update after construction?
+        first = stream.getvalue()
+        meter.update(2, 100)  # throttled
+        assert stream.getvalue() == first
+        meter.update(100, 100)  # done == total forces a paint
+        assert "100/100" in stream.getvalue()
+
+    def test_zero_total_paints_without_dividing(self):
+        stream = io.StringIO()
+        meter = ProgressLine("x", stream=stream, min_interval=0.0)
+        meter.update(0, 0)
+        meter.finish()
+        assert "0/0" in stream.getvalue()
+
+
+class TestFmtSeconds:
+    def test_ranges(self):
+        assert _fmt_seconds(12) == "12s"
+        assert _fmt_seconds(90) == "1.5m"
+        assert _fmt_seconds(5400) == "1.5h"

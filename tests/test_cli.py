@@ -395,3 +395,100 @@ class TestFuzzCli:
         assert main(["fuzz", "--campaigns", "2", "--verbose"]) == 0
         err = capsys.readouterr().err
         assert err.count(": ok") == 2
+
+    def test_fuzz_progress_meter(self, capsys):
+        assert main(["fuzz", "--campaigns", "3", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[fuzz] 3/3 (100%)" in err
+        assert "diverged" in err
+
+
+class TestDiffTraceCli:
+    def test_equivalent_workload(self, capsys):
+        assert main(["diff-trace", "grep", "--model", "region_pred"]) == 0
+        out = capsys.readouterr().out
+        assert "EQUIVALENT" in out
+
+    def test_needs_a_target(self, capsys):
+        assert main(["diff-trace"]) == 2
+        assert "--replay" in capsys.readouterr().err
+
+    def test_replay_divergent_case_pinpoints(self, tmp_path, capsys):
+        from repro.verify.fuzz import build_case, derive_campaign
+        from repro.verify.tracediff import validate_tracediff
+
+        # A clean case on correct hardware: the CLI can only exercise
+        # the equivalent path (broken machines are injected in-process
+        # by tests/verify/test_tracediff.py), but the artifact must
+        # still validate and carry both sides.
+        case_path = build_case(derive_campaign(0, 0)).save(
+            tmp_path / "case.json"
+        )
+        target = tmp_path / "diff.json"
+        assert (
+            main(
+                ["diff-trace", "--replay", str(case_path),
+                 "--json", str(target)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "diff-tracing" in out
+        document = json.loads(target.read_text())
+        validate_tracediff(document)
+        assert document["scalar"]["effect_count"] > 0
+        assert document["machine"]["effect_count"] > 0
+
+    def test_trace_out_merges_both_processes(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        assert (
+            main(
+                ["diff-trace", "grep", "--model", "region_pred",
+                 "--trace-out", str(target)]
+            )
+            == 0
+        )
+        events = json.loads(target.read_text())
+        validate_trace_events(events)
+        assert {event["pid"] for event in events} == {1, 2}
+
+
+class TestRunLogCli:
+    def test_log_json_brackets_any_command(self, tmp_path, capsys):
+        from repro.obs.runlog import read_runlog
+
+        log = tmp_path / "run.jsonl"
+        assert main(["--log-json", str(log), "fuzz", "--campaigns", "2"]) == 0
+        records = read_runlog(log)
+        kinds = [record["kind"] for record in records]
+        assert kinds[0] == "run.start"
+        assert kinds[1] == "run.command"
+        assert kinds[-2] == "run.exit"
+        assert kinds[-1] == "run.end"
+        assert kinds.count("fuzz.campaign") == 2
+        exit_record = records[-2]
+        assert exit_record["command"] == "fuzz"
+        assert exit_record["status"] == 0
+
+    def test_log_json_records_experiment_cells(self, tmp_path, capsys):
+        from repro.obs.runlog import read_runlog
+
+        log = tmp_path / "run.jsonl"
+        assert (
+            main(
+                ["--log-json", str(log), "experiment", "hwcost",
+                 "--no-cache", "--quiet"]
+            )
+            == 0
+        )
+        cells = [
+            record
+            for record in read_runlog(log)
+            if record["kind"] == "experiment.cell"
+        ]
+        assert cells
+        assert all(record["outcome"] == "computed" for record in cells)
+
+    def test_without_flag_no_log_is_written(self, tmp_path, capsys):
+        assert main(["fuzz", "--campaigns", "1"]) == 0
+        assert list(tmp_path.iterdir()) == []

@@ -16,6 +16,15 @@ from repro.machine.vliw import VLIWMachine
 from repro.verify import ReproCase, run_fuzz, shrink_case
 from repro.verify.case import CASE_SCHEMA
 from repro.verify.fuzz import build_case, derive_campaign
+from repro.verify.oracle import OracleResult
+from repro.verify.shrink import (
+    SHRINK_BUDGET_MARGIN,
+    SHRINK_MAX_CYCLES,
+    SHRINK_MAX_STEPS,
+    SHRINK_MIN_CYCLES,
+    SHRINK_MIN_STEPS,
+    candidate_budgets,
+)
 
 
 class _SquashCommitsRegfile(PredicatedRegisterFile):
@@ -145,3 +154,111 @@ class TestShrinkGuards:
         assert case.run().equivalent
         with pytest.raises(ValueError, match="does not diverge"):
             shrink_case(case)
+
+
+def _oracle_result(scalar_cycles, machine_cycles) -> OracleResult:
+    return OracleResult(
+        program="p",
+        model="region_pred",
+        equivalent=False,
+        report=None,
+        scalar_cycles=scalar_cycles,
+        machine_cycles=machine_cycles,
+    )
+
+
+class TestAdaptiveBudgets:
+    """Livelock regression: candidates are bounded by a small multiple
+    of what the unshrunk case needed, not the worst-case ceilings.
+
+    Before the adaptive budgets, a ddmin mutation that turned the
+    program into an infinite loop burned the full static cycle budget
+    (~1s) per candidate -- a shrink of a few hundred candidates could
+    stall for minutes."""
+
+    def test_unknown_initial_falls_back_to_ceilings(self):
+        assert candidate_budgets(None) == (
+            SHRINK_MAX_STEPS,
+            SHRINK_MAX_CYCLES,
+        )
+        assert candidate_budgets(_oracle_result(None, None)) == (
+            SHRINK_MAX_STEPS,
+            SHRINK_MAX_CYCLES,
+        )
+
+    def test_tiny_runs_get_the_floors(self):
+        assert candidate_budgets(_oracle_result(5, 9)) == (
+            SHRINK_MIN_STEPS,
+            SHRINK_MIN_CYCLES,
+        )
+
+    def test_midrange_scales_with_the_slower_side(self):
+        steps, cycles = candidate_budgets(_oracle_result(1_000, 3_000))
+        assert steps == 3_000 * SHRINK_BUDGET_MARGIN
+        assert cycles == 3_000 * SHRINK_BUDGET_MARGIN
+
+    def test_huge_runs_clamp_at_the_ceilings(self):
+        assert candidate_budgets(_oracle_result(10**9, 10**9)) == (
+            SHRINK_MAX_STEPS,
+            SHRINK_MAX_CYCLES,
+        )
+
+    def test_candidates_run_under_the_adaptive_budget(self, monkeypatch):
+        spec = derive_campaign(0, 13)
+        case = build_case(spec)
+        initial = case.run(machine_factory=BuggyMachine)
+        assert not initial.equivalent
+        expected = candidate_budgets(initial)
+        assert expected[0] < SHRINK_MAX_STEPS
+        assert expected[1] < SHRINK_MAX_CYCLES
+
+        seen = []
+        original_run = ReproCase.run
+
+        def spy(self, **kwargs):
+            seen.append((kwargs.get("max_steps"), kwargs.get("max_cycles")))
+            return original_run(self, **kwargs)
+
+        monkeypatch.setattr(ReproCase, "run", spy)
+        shrink_case(
+            case,
+            machine_factory=BuggyMachine,
+            category=initial.report.category,
+            initial_result=initial,
+        )
+        # With category and initial_result supplied, every run here is a
+        # candidate -- and every one got the adaptive budget.
+        assert seen
+        assert all(budgets == expected for budgets in seen)
+
+    def test_livelocking_candidates_are_rejected_cheaply(self, monkeypatch):
+        # Synthetic livelocking oracle: every mutated candidate "runs
+        # forever", i.e. raises the budget-exhausted error the real
+        # executor raises -- after proving its budget was adaptive.
+        spec = derive_campaign(0, 13)
+        case = build_case(spec)
+        initial = case.run(machine_factory=BuggyMachine)
+        _, cycles_budget = candidate_budgets(initial)
+        assert cycles_budget < SHRINK_MAX_CYCLES
+
+        candidates = 0
+        original_run = ReproCase.run
+
+        def livelocking(self, **kwargs):
+            nonlocal candidates
+            if self.program_text != case.program_text:
+                candidates += 1
+                assert kwargs.get("max_cycles") == cycles_budget
+                raise RuntimeError("cycle budget exhausted (livelock)")
+            return original_run(self, **kwargs)
+
+        monkeypatch.setattr(ReproCase, "run", livelocking)
+        shrunk = shrink_case(
+            case,
+            machine_factory=BuggyMachine,
+            category=initial.report.category,
+            initial_result=initial,
+        )
+        assert candidates > 0
+        assert shrunk.accepted == 0
+        assert shrunk.shrunk_instructions == shrunk.original_instructions

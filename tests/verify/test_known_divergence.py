@@ -1,26 +1,31 @@
-"""Regression lock on the known ``region_pred`` divergence.
+"""Regression lock on the fixed ``region_pred`` fault-writeback bug.
 
 ``findings/case-synthetic-1803.json`` freezes a fuzz finding (synthetic
 program, seed 1803, demand-paged faults with unmap probability 0.3)
-where region-predicated scheduled code diverges from scalar semantics:
-the machine emits an extra ``out`` and a wrong register file.  See the
-open item in ROADMAP.md ("Known bug (pre-existing, found 2026-08-06)").
+where region-predicated scheduled code diverged from scalar semantics:
+the machine emitted an extra ``out`` and a wrong register file.
 
-The test is ``xfail(strict=True)``: it replays the case through the
-differential oracle and asserts equivalence, which is expected to fail
-while the scheduler/commit bug is open.  When the bug is fixed the
-xpass becomes a hard failure, forcing whoever fixes it to delete the
-marker here and close the ROADMAP entry in the same change -- the case
-file is the bug's executable definition.
+Root cause (pinned down with ``repro diff-trace``): a faulting
+speculative load wrote its E-flagged (and, on recovery replay, its
+repaired) result into the shadow regfile *immediately at execute time*
+instead of at its writeback cycle.  When the same bundle carried an
+earlier-in-program-order ALU write to the same register (``min r5,...``
+before ``ld r5,...``), the ALU result landed at end-of-cycle and
+superseded the load -- the register kept the stale value and every
+condition computed from it downstream went wrong.  Fixed by flying the
+fault path through the normal writeback queue with the E flag attached
+(see ``_InFlight.fault`` in ``machine/vliw.py``).
+
+The replay now asserts equivalence outright: the case file is the bug's
+executable definition and must stay green.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
-import pytest
-
 from repro.verify.case import ReproCase
+from repro.verify.tracediff import diff_trace_case
 
 CASE_PATH = (
     Path(__file__).resolve().parents[2]
@@ -30,21 +35,20 @@ CASE_PATH = (
 
 
 def test_case_file_is_loadable():
-    """The frozen case must stay parseable even while the bug is open."""
+    """The frozen case must stay parseable."""
     case = ReproCase.load(CASE_PATH)
     assert case.model == "region_pred"
     assert case.backing, "case relies on the demand-paging backing store"
     assert case.instruction_count() > 0
 
 
-@pytest.mark.xfail(
-    strict=True,
-    reason=(
-        "known region_pred scheduler/commit divergence under demand-paged "
-        "faults (ROADMAP open item, fuzz seed 1803); remove this marker "
-        "when the fix lands"
-    ),
-)
 def test_case_synthetic_1803_replays_equivalent():
     result = ReproCase.load(CASE_PATH).run()
     assert result.equivalent, result.describe()
+
+
+def test_case_synthetic_1803_diff_trace_clean():
+    """The lockstep differ agrees: no divergent committed effect."""
+    result = diff_trace_case(ReproCase.load(CASE_PATH))
+    assert result.equivalent
+    assert result.divergence is None
