@@ -9,6 +9,7 @@ SIGINT/SIGTERM shutdown (:mod:`repro.ckpt.signals`).
 from repro.ckpt.engine import (
     CheckpointWriter,
     LatestSnapshot,
+    atomic_write_text,
     latest_snapshot,
     restore,
     run_interpreter,
@@ -40,6 +41,7 @@ __all__ = [
     "LatestSnapshot",
     "ShutdownRequested",
     "SignalSupervisor",
+    "atomic_write_text",
     "describe_snapshot",
     "exit_code_for",
     "latest_snapshot",

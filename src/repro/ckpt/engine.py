@@ -81,16 +81,32 @@ def restore(document: dict, program, *, config=None, path=None, **kwargs):
 
 
 # ----------------------------------------------------------------------
-# Atomic snapshot files.
+# Atomic files.
 # ----------------------------------------------------------------------
-def write_snapshot(document: dict, path: str | Path) -> Path:
-    """Write one snapshot atomically (temp file + ``os.replace``)."""
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write *text* to *path* atomically (temp file + ``os.replace``).
+
+    A kill landing mid-write leaves either the previous file intact or
+    the complete new one -- never a truncated tail.  The temp file lives
+    next to the target (same filesystem, so the replace is atomic) and
+    carries the pid so concurrent writers cannot collide.  Shared by
+    checkpoint snapshots, experiment/bench/tracediff artifacts and fuzz
+    repro cases.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    temp = path.with_name(path.name + ".tmp")
-    temp.write_text(canonical_dumps(document) + "\n")
-    os.replace(temp, path)
+    temp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        temp.write_text(text)
+        os.replace(temp, path)
+    finally:
+        temp.unlink(missing_ok=True)  # only survives a failed replace
     return path
+
+
+def write_snapshot(document: dict, path: str | Path) -> Path:
+    """Write one snapshot atomically (temp file + ``os.replace``)."""
+    return atomic_write_text(path, canonical_dumps(document) + "\n")
 
 
 class CheckpointWriter:

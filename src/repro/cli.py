@@ -37,6 +37,15 @@ Commands:
 * ``ckpt``       -- checkpoint tooling; ``ckpt inspect SNAP.json``
   prints a snapshot's engine, position, occupancy and hash validity
   (``--summary`` for the grep-able one-line form).
+* ``serve``      -- fault-tolerant batched simulation service speaking
+  a JSON-lines protocol over HTTP (``--http PORT``) or stdin/stdout
+  (``--stdio``): compile-and-simulate jobs batched by identical
+  program+config, bounded worker pool with per-job timeouts and
+  isolated retries, deterministic load shedding (``--queue-limit``,
+  ``--client-quota``), and a durable write-ahead job journal
+  (``--journal DIR``) so a killed server replays exactly the
+  incomplete jobs on restart -- never losing or duplicating accepted
+  work.
 * ``bench``      -- simulator performance measurement.  ``bench run
   [--suite micro|macro|all] [--quick] [--json OUT]`` times the
   registered benchmarks (steady-state harness: warmup, GC pinned off,
@@ -345,25 +354,18 @@ def cmd_profile(args) -> int:
             "metrics": sink.to_dict(),
             "attribution": report.to_dict(),
         }
-        text = json.dumps(document, sort_keys=True, indent=2) + "\n"
-        if args.json == "-":
-            sys.stdout.write(text)
-        else:
-            path = Path(args.json)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(text)
-            print(f"[profile] {path}", file=sys.stderr)
+        _write_json(document, args.json, "profile")
     return 0
 
 
 def _write_json(document: dict, target: str, tag: str) -> None:
+    from repro.ckpt.engine import atomic_write_text
+
     text = json.dumps(document, sort_keys=True, indent=2) + "\n"
     if target == "-":
         sys.stdout.write(text)
     else:
-        path = Path(target)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(text)
+        path = atomic_write_text(target, text)
         print(f"[{tag}] {path}", file=sys.stderr)
 
 
@@ -376,11 +378,17 @@ def cmd_verify(args) -> int:
     )
 
     sink = CounterSink()
+    # --max-cycles caps both engines (machine cycles and interpreter
+    # steps): a livelocked case yields a structured step-limit error
+    # result and exit 1 instead of hanging the verifier.
+    limits: dict = {}
+    if args.max_cycles is not None:
+        limits = {"max_cycles": args.max_cycles, "max_steps": args.max_cycles}
     results = []
     if args.replay:
         case = ReproCase.load(args.replay)
         print(f"replaying {args.replay} ({case.name}, {case.model})")
-        results.append(case.run(sink=sink))
+        results.append(case.run(sink=sink, **limits))
     else:
         if args.target is None:
             print("verify needs a workload/file target or --replay CASE.json",
@@ -405,6 +413,7 @@ def cmd_verify(args) -> int:
                     train_memory=train.clone(),
                     eval_memory=memory.clone(),
                     sink=sink,
+                    **limits,
                 )
             )
     for result in results:
@@ -428,6 +437,9 @@ def cmd_diff_trace(args) -> int:
     )
     from repro.verify.tracediff import TRACEDIFF_SCHEMA
 
+    limits: dict = {}
+    if args.max_cycles is not None:
+        limits = {"max_cycles": args.max_cycles, "max_steps": args.max_cycles}
     tracer = None
     if args.replay:
         case = ReproCase.load(args.replay)
@@ -439,6 +451,7 @@ def cmd_diff_trace(args) -> int:
             window=args.window,
             flight_capacity=args.flight_capacity,
             tracer=tracer,
+            **limits,
         )
     else:
         if args.target is None:
@@ -464,6 +477,7 @@ def cmd_diff_trace(args) -> int:
             window=args.window,
             flight_capacity=args.flight_capacity,
             tracer=tracer,
+            **limits,
         )
     print(result.describe())
     if args.json:
@@ -761,6 +775,87 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serve import (
+        JobJournal,
+        ServeSettings,
+        SimulationService,
+        serve_http,
+        serve_stdio,
+    )
+
+    try:
+        settings = ServeSettings(
+            workers=args.jobs,
+            queue_limit=args.queue_limit,
+            client_quota=args.client_quota,
+            job_timeout=args.job_timeout,
+            max_retries=args.retries,
+            retry_backoff=args.retry_backoff,
+        )
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    sink = CounterSink()
+    run_log = getattr(args, "run_log", NULL_RUN_LOG)
+    journal = JobJournal(args.journal) if args.journal else None
+    service = SimulationService(
+        settings, journal=journal, sink=sink, run_log=run_log
+    )
+    try:
+        if journal is not None:
+            replayed = service.recover()
+            durable = service.counters()["serve.durable_results"]
+            print(
+                f"[serve] journal {args.journal}: {durable} durable "
+                f"result(s), {replayed} incomplete job(s) re-executed",
+                file=sys.stderr,
+            )
+        with SignalSupervisor() as supervisor:
+            try:
+                if args.stdio:
+                    print(
+                        "[serve] reading JSON-lines requests from stdin",
+                        file=sys.stderr,
+                    )
+                    serve_stdio(service, supervisor=supervisor)
+                else:
+
+                    def ready(host: str, port: int) -> None:
+                        print(
+                            f"[serve] listening on http://{host}:{port}"
+                            "/v1/jobs",
+                            file=sys.stderr,
+                        )
+
+                    serve_http(
+                        service,
+                        host=args.host,
+                        port=args.http,
+                        supervisor=supervisor,
+                        ready=ready,
+                    )
+            except ShutdownRequested as shutdown:
+                counters = service.counters()
+                print(
+                    f"[serve] {shutdown}; drained in-flight jobs "
+                    f"({counters['serve.completed']} completed, "
+                    f"{counters['serve.errors']} errors)",
+                    file=sys.stderr,
+                )
+                if journal is not None:
+                    print(
+                        f"[serve] results are durable in {args.journal}; "
+                        "restart with the same --journal to replay",
+                        file=sys.stderr,
+                    )
+                return shutdown.exit_code
+    finally:
+        service.close()
+    print(json.dumps(service.counters(), sort_keys=True), file=sys.stderr)
+    return 0
+
+
 def _add_checkpoint_options(parser: argparse.ArgumentParser) -> None:
     """The machine-run checkpoint knobs shared by ``exec``/``profile``."""
     parser.add_argument(
@@ -1014,6 +1109,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OUT",
         help=f"write the {VERIFY_SCHEMA} document ('-' for stdout)",
     )
+    verify_parser.add_argument(
+        "--max-cycles",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "abort either engine after N cycles/steps with a structured "
+            "step-limit error result (exit 1) instead of hanging on a "
+            "livelocked case"
+        ),
+    )
 
     diff_trace_parser = commands.add_parser(
         "diff-trace",
@@ -1064,6 +1170,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "write a merged Perfetto/Chrome trace_event JSON (machine "
             "pid 1, scalar pid 2)"
+        ),
+    )
+    diff_trace_parser.add_argument(
+        "--max-cycles",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "abort either engine after N cycles/steps with a structured "
+            "step-limit error result (exit 1) instead of hanging on a "
+            "livelocked case"
         ),
     )
 
@@ -1121,6 +1238,95 @@ def build_parser() -> argparse.ArgumentParser:
         "--summary",
         action="store_true",
         help="one grep-able line instead of the JSON description",
+    )
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help=(
+            "fault-tolerant batched simulation service (JSON-lines "
+            "protocol over HTTP or stdin/stdout)"
+        ),
+    )
+    frontend = serve_parser.add_mutually_exclusive_group(required=True)
+    frontend.add_argument(
+        "--http",
+        type=int,
+        metavar="PORT",
+        help="serve the JSON-lines protocol over HTTP on PORT (0 = ephemeral)",
+    )
+    frontend.add_argument(
+        "--stdio",
+        action="store_true",
+        help="read request lines from stdin, write response lines to stdout",
+    )
+    serve_parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --http (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for job execution (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help=(
+            "bounded admission queue: jobs beyond N pending get an "
+            "explicit 'overloaded' response (default: 64)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--client-quota",
+        type=int,
+        default=16,
+        metavar="N",
+        help=(
+            "at most N pending jobs per client; beyond that the client "
+            "gets 'rejected: quota' (default: 16)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-job wall-clock budget; a hung job is isolated, retried "
+            "and then reported as a structured error (default: none)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "isolated retries (exponential backoff with deterministic "
+            "jitter) for a job whose worker crashed or hung (default: 2)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="base delay of the retry backoff schedule (default: 0.1)",
+    )
+    serve_parser.add_argument(
+        "--journal",
+        metavar="DIR",
+        help=(
+            "durable write-ahead job journal: accepted jobs land here "
+            "before execution, results after; a restarted server "
+            "replays exactly the incomplete jobs and serves durable "
+            "results without re-executing"
+        ),
     )
 
     bench_parser = commands.add_parser(
@@ -1191,6 +1397,7 @@ def main(argv: list[str] | None = None) -> int:
         "diff-trace": cmd_diff_trace,
         "fuzz": cmd_fuzz,
         "ckpt": cmd_ckpt,
+        "serve": cmd_serve,
         "bench": cmd_bench,
     }
     run_log = JsonlRunLog(args.log_json) if args.log_json else NULL_RUN_LOG

@@ -172,12 +172,12 @@ def write_artifact(
     errors: list[dict] | None = None,
 ) -> Path:
     """Write *result*'s artifact under *target*; returns the file path."""
-    path = artifact_path(target, name)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        dumps_artifact(make_artifact(name, result, metrics, errors))
+    from repro.ckpt.engine import atomic_write_text
+
+    return atomic_write_text(
+        artifact_path(target, name),
+        dumps_artifact(make_artifact(name, result, metrics, errors)),
     )
-    return path
 
 
 def load_artifact(path: str | Path) -> dict:

@@ -56,6 +56,7 @@ from repro.machine.scalar import ScalarRun, run_scalar
 from repro.machine.vliw import VLIWMachine
 from repro.obs.metrics import NULL_SINK, MetricsSink
 from repro.obs.runlog import NULL_RUN_LOG, RunLog
+from repro.serve.backoff import backoff_delay
 from repro.workloads import Workload, all_workloads
 
 #: Bump to invalidate every cached cell (evaluator semantics changed).
@@ -974,10 +975,15 @@ class CellRunner:
         return outcomes
 
     def _isolated(self, spec: CellSpec):
-        """Retry one suspect cell in its own single-worker pool."""
+        """Retry one suspect cell in its own single-worker pool.
+
+        Backoff between attempts is exponential with *keyed jitter*
+        (:func:`repro.serve.backoff.backoff_delay`): deterministic per
+        cell, but different cells spread out instead of retrying a
+        broken pool in lockstep.
+        """
         last_error: BaseException = RuntimeError("cell never ran")
         attempts = 0
-        delay = self.retry_backoff
         while attempts <= self.max_retries:
             if attempts > 0:
                 self.stats.retries += 1
@@ -989,8 +995,11 @@ class CellRunner:
                         label=spec.label(),
                         attempt=attempts,
                     )
-                time.sleep(delay)
-                delay *= 2
+                time.sleep(
+                    backoff_delay(
+                        attempts, base=self.retry_backoff, key=spec.label()
+                    )
+                )
             attempts += 1
             try:
                 pool = ProcessPoolExecutor(max_workers=1)

@@ -1,0 +1,142 @@
+"""The HTTP frontend: the same JSON-lines protocol over POST.
+
+Endpoints:
+
+* ``POST /v1/jobs`` -- body is JSON lines (one request per line); the
+  response body is JSON lines, one response per request, in order.
+  Status 200 when anything was served, 429 when *every* job in the
+  submission was shed at admission (the body still carries the
+  per-job ``overloaded``/``rejected`` lines).  An ``X-Client`` header
+  overrides the per-request ``client`` field.
+* ``GET /v1/stats`` -- the service counters as one JSON object.
+
+Requests are served on daemon threads (:class:`ThreadingHTTPServer`),
+so concurrent clients hit the service's admission layer concurrently --
+that is where the bounded queue and quotas act.  The serve loop itself
+runs :func:`serve_http`, which polls the supervisor and shuts the
+listener down gracefully on SIGINT/SIGTERM: in-flight handlers finish
+(their jobs drain through the pool and journal), then
+:class:`~repro.ckpt.signals.ShutdownRequested` propagates.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.ckpt.signals import SignalSupervisor
+from repro.serve.protocol import dumps_response
+from repro.serve.service import SimulationService
+
+#: Cap on one POST body; far above any sane submission, far below harm.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """One request; the service lives on the server object."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> SimulationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 -- stdlib signature
+        pass  # request logging goes through the service run log instead
+
+    def _send_json(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 -- stdlib naming
+        if self.path == "/v1/stats":
+            body = (
+                json.dumps(self.service.counters(), sort_keys=True) + "\n"
+            ).encode("utf-8")
+            self._send_json(200, body)
+            return
+        self._send_json(
+            404, b'{"error": "unknown path; POST /v1/jobs or GET /v1/stats"}\n'
+        )
+
+    def do_POST(self) -> None:  # noqa: N802 -- stdlib naming
+        if self.path != "/v1/jobs":
+            self._send_json(
+                404,
+                b'{"error": "unknown path; POST /v1/jobs or GET /v1/stats"}\n',
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if not 0 <= length <= MAX_BODY_BYTES:
+            self._send_json(
+                413, b'{"error": "body must fit Content-Length <= 8 MiB"}\n'
+            )
+            return
+        body = self.rfile.read(length).decode("utf-8", errors="replace")
+        lines = [line for line in (l.strip() for l in body.splitlines()) if line]
+        if not lines:
+            self._send_json(400, b'{"error": "empty submission"}\n')
+            return
+        client = self.headers.get("X-Client")
+        responses = self.service.handle_requests(lines, client=client)
+        shed = sum(
+            1
+            for response in responses
+            if response["status"] in ("overloaded", "rejected")
+        )
+        status = 429 if shed == len(responses) else 200
+        payload = "".join(
+            dumps_response(response) + "\n" for response in responses
+        ).encode("utf-8")
+        self._send_json(status, payload)
+
+
+def make_http_server(
+    service: SimulationService, *, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A ready-to-run listener (``port=0`` picks a free port; read the
+    bound address off ``server.server_address``)."""
+    server = ThreadingHTTPServer((host, port), ServeHandler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    return server
+
+
+def serve_http(
+    service: SimulationService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    supervisor: SignalSupervisor | None = None,
+    ready=None,
+) -> None:
+    """Serve until a signal arrives; *ready* (if given) is called with
+    the bound ``(host, port)`` once the listener is up."""
+    server = make_http_server(service, host=host, port=port)
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.1},
+        name="repro-serve-http",
+        daemon=True,
+    )
+    thread.start()
+    if ready is not None:
+        ready(server.server_address[0], server.server_address[1])
+    try:
+        while supervisor is None or supervisor.pending is None:
+            time.sleep(0.05)
+    finally:
+        # Stop accepting, let in-flight handlers drain, then close.
+        server.shutdown()
+        thread.join(timeout=10.0)
+        server.server_close()
+    raise supervisor.shutdown()

@@ -1,0 +1,86 @@
+"""The service's durable job journal: accepted before, done after.
+
+Built on the :mod:`repro.ckpt.journal` ledger (append-only JSONL, one
+flushed line per record, torn tails ignored on load), specialized into a
+two-phase write-ahead log:
+
+* ``accept(key, job)`` -- appended the moment a job passes admission,
+  *before* any execution, carrying the fully resolved job payload;
+* ``complete(key, result)`` -- appended when the job's result is
+  collected.
+
+On load, the *last* record per key decides its state: a ``done`` record
+means the result is durable and replays verbatim; an ``accepted``
+record with no ``done`` after it means the server died mid-job -- the
+payload reconstructs the job exactly, so a restart re-executes only the
+incomplete work.  Failed jobs are never marked done (a restart retries
+them), mirroring the sweep-ledger rule that errors are not ledgered.
+
+Results are deterministic functions of job content, so "re-execute the
+incomplete jobs" and "never lose or duplicate accepted work" compose
+into the headline guarantee: the response stream after a ``kill -9``
+and restart is byte-identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.ckpt.journal import Journal
+from repro.serve.protocol import ResolvedJob, job_from_payload, job_to_payload
+
+PHASE_ACCEPTED = "accepted"
+PHASE_DONE = "done"
+
+
+class JobJournal:
+    """Two-phase durable record of every accepted job."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self._journal = Journal(directory)
+
+    # -- writing -------------------------------------------------------
+    def accept(self, job: ResolvedJob) -> None:
+        """Write-ahead: the job is accepted and about to execute."""
+        self._journal.record(
+            job.key, {"phase": PHASE_ACCEPTED, "job": job_to_payload(job)}
+        )
+
+    def complete(self, key: str, result: dict) -> None:
+        """The job's deterministic result payload is now durable."""
+        self._journal.record(key, {"phase": PHASE_DONE, "result": result})
+
+    def close(self) -> None:
+        self._journal.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------
+    def load(self) -> tuple[dict[str, dict], dict[str, ResolvedJob]]:
+        """``(completed, incomplete)`` after a restart.
+
+        ``completed`` maps job key -> durable result payload;
+        ``incomplete`` maps job key -> the reconstructed job (accepted
+        but never marked done -- exactly the work to replay).
+        Records that do not parse as either phase (foreign lines, torn
+        tails already dropped by the ledger) are ignored.
+        """
+        completed: dict[str, dict] = {}
+        incomplete: dict[str, ResolvedJob] = {}
+        for key, payload in self._journal.completed().items():
+            if not isinstance(payload, dict):
+                continue
+            phase = payload.get("phase")
+            if phase == PHASE_DONE and isinstance(payload.get("result"), dict):
+                completed[key] = payload["result"]
+            elif phase == PHASE_ACCEPTED:
+                try:
+                    incomplete[key] = job_from_payload(payload["job"])
+                except (KeyError, TypeError, ValueError):
+                    continue  # unreconstructable accept record: drop it
+        return completed, incomplete

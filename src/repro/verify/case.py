@@ -173,10 +173,11 @@ class ReproCase:
         return cls.from_dict(document, path=path)
 
     def save(self, path: str | Path) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json())
-        return path
+        """Freeze the case atomically (temp + ``os.replace``): a kill
+        mid-write can never leave a truncated, unreplayable JSON."""
+        from repro.ckpt.engine import atomic_write_text
+
+        return atomic_write_text(path, self.to_json())
 
     @classmethod
     def load(cls, path: str | Path) -> "ReproCase":

@@ -65,6 +65,10 @@ DEFAULT_MAX_STEPS = 2_000_000
 DEFAULT_MAX_CYCLES = 20_000_000
 
 
+class _SkipMachine(Exception):
+    """Internal: the machine side cannot run (training hit its limit)."""
+
+
 def resolve_model(model: str) -> str:
     """Canonical executable model name for *model* (accepts aliases)."""
     name = MODEL_ALIASES.get(model, model)
@@ -274,20 +278,29 @@ def run_oracle(
         scalar_error = str(error)
 
     # --- compile (training run profiles the branches) -----------------
-    train = run_scalar(
-        program,
-        cfg,
-        train_memory.clone(),
-        fault_handler=fault_handler,
-        max_steps=max_steps,
-    )
-    predictor = StaticPredictor.from_trace(train.trace)
     machine_error: str | None = None
     machine_fault: UnhandledFault | None = None
     machine_result: VLIWResult | None = None
     machine = None
     snapshot: MachineSnapshot | None = None
+    predictor = None
     try:
+        # A livelocked training run must become a structured result,
+        # not a raw traceback: the step limit is the whole point of
+        # ``--max-cycles`` on replayed cases.
+        train = run_scalar(
+            program,
+            cfg,
+            train_memory.clone(),
+            fault_handler=fault_handler,
+            max_steps=max_steps,
+        )
+        predictor = StaticPredictor.from_trace(train.trace)
+    except StepLimitExceeded as error:
+        machine_error = f"StepLimitExceeded: training run: {error}"
+    try:
+        if predictor is None:
+            raise _SkipMachine
         compiled = compile_program(program, policy, config, predictor)
         assert compiled.vliw is not None
         machine = factory(
@@ -298,6 +311,8 @@ def run_oracle(
             max_cycles=max_cycles,
         )
         machine_result = machine.run()
+    except _SkipMachine:
+        pass  # training blew the step limit; machine_error already says so
     except UnhandledFault as fault:
         machine_fault = fault
     except (ScheduleViolation, MachineAbort) as error:

@@ -53,6 +53,10 @@ DEFAULT_WINDOW = 8
 _EFFECT_TAIL = 16
 
 
+class _SkipMachine(Exception):
+    """Internal: the machine side cannot run (training hit its limit)."""
+
+
 @dataclass
 class SideRun:
     """One instrumented execution (scalar golden model or VLIW machine)."""
@@ -274,16 +278,24 @@ def run_diff_trace(
         flight=RingRecorder(flight_capacity, source="machine"),
     )
     machine_side.effects = EffectStream("machine", machine_side.flight)
-    train = run_scalar(
-        program,
-        cfg,
-        train_memory.clone(),
-        fault_handler=fault_handler,
-        max_steps=max_steps,
-    )
-    predictor = StaticPredictor.from_trace(train.trace)
+    predictor = None
+    try:
+        # Mirror the oracle: a livelocked training run becomes a
+        # structured machine-side error, never a raw traceback.
+        train = run_scalar(
+            program,
+            cfg,
+            train_memory.clone(),
+            fault_handler=fault_handler,
+            max_steps=max_steps,
+        )
+        predictor = StaticPredictor.from_trace(train.trace)
+    except StepLimitExceeded as error:
+        machine_side.error = f"StepLimitExceeded: training run: {error}"
     machine = None
     try:
+        if predictor is None:
+            raise _SkipMachine
         compiled = compile_program(program, policy, config, predictor)
         assert compiled.vliw is not None
         machine = factory(
@@ -300,6 +312,8 @@ def run_diff_trace(
         machine_side.cycles = result.cycles
         machine_side.registers = dict(enumerate(result.registers))
         machine_side.handled_faults = result.handled_faults
+    except _SkipMachine:
+        pass  # training blew the step limit; the side error already says so
     except UnhandledFault as fault:
         machine_side.unhandled = (fault.fault.kind.value, fault.fault.address)
         if machine is not None:

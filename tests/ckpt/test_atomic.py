@@ -1,0 +1,68 @@
+"""The shared atomic-write helper (temp + ``os.replace``)."""
+
+import os
+
+import pytest
+
+from repro.ckpt import atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_and_creates_parents(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "file.json"
+        assert atomic_write_text(target, "{}\n") == target
+        assert target.read_text() == "{}\n"
+
+    def test_no_temp_remnants(self, tmp_path):
+        atomic_write_text(tmp_path / "out.json", "data\n")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_failed_replace_leaves_original_intact(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.json"
+        target.write_text("original\n")
+
+        def broken_replace(src, dst):
+            raise OSError("disk went away")
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "replacement\n")
+        monkeypatch.undo()
+        assert target.read_text() == "original\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_overwrites_existing(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "one\n")
+        atomic_write_text(target, "two\n")
+        assert target.read_text() == "two\n"
+
+
+class TestAtomicConsumers:
+    def test_repro_case_save_is_atomic(self, tmp_path):
+        from repro.machine.config import base_machine
+        from repro.verify.case import ReproCase
+
+        case = ReproCase(
+            name="t",
+            program_text="li r1, 1\nout r1\nhalt\n",
+            model="region_pred",
+            config=base_machine(),
+        )
+        path = case.save(tmp_path / "case.json")
+        assert ReproCase.load(path).name == "t"
+        assert [p.name for p in tmp_path.iterdir()] == ["case.json"]
+
+    def test_write_artifact_is_atomic(self, tmp_path):
+        from repro.eval.artifact import load_artifact, write_artifact
+
+        class Result:
+            @staticmethod
+            def to_dict():
+                return {"value": 1}
+
+        path = write_artifact(tmp_path / "art", "demo", Result())
+        assert load_artifact(path)["experiment"] == "demo"
+        assert [p.name for p in (tmp_path / "art").iterdir()] == [
+            "demo.json"
+        ]

@@ -1,0 +1,57 @@
+"""The shared jittered-backoff helper."""
+
+import pytest
+
+from repro.serve.backoff import backoff_delay, backoff_fraction
+
+
+class TestBackoffDelay:
+    def test_jitter_zero_is_the_legacy_schedule(self):
+        delays = [
+            backoff_delay(n, base=0.1, jitter=0.0) for n in (1, 2, 3, 4)
+        ]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+    def test_deterministic_per_key(self):
+        a = [backoff_delay(n, base=0.5, key="cell-7") for n in (1, 2, 3)]
+        b = [backoff_delay(n, base=0.5, key="cell-7") for n in (1, 2, 3)]
+        assert a == b
+
+    def test_decorrelated_across_keys(self):
+        keys = [f"job-{i}" for i in range(16)]
+        delays = {backoff_delay(2, base=1.0, key=key) for key in keys}
+        # Practically all keys land on distinct delays; lockstep would
+        # collapse them to a single value.
+        assert len(delays) > 12
+
+    def test_jitter_only_shortens(self):
+        for attempt in (1, 2, 3, 4):
+            raw = 0.25 * 2 ** (attempt - 1)
+            delay = backoff_delay(attempt, base=0.25, key="k")
+            assert raw / 2 <= delay <= raw
+
+    def test_max_delay_caps_the_raw_schedule(self):
+        assert (
+            backoff_delay(10, base=1.0, jitter=0.0, max_delay=3.0) == 3.0
+        )
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            backoff_delay(0, base=1.0)
+
+    def test_jitter_range_validated(self):
+        with pytest.raises(ValueError):
+            backoff_delay(1, base=1.0, jitter=1.0)
+
+    def test_fraction_in_unit_interval(self):
+        for attempt in range(1, 20):
+            fraction = backoff_fraction("some-key", attempt)
+            assert 0.0 <= fraction < 1.0
+
+    def test_shared_with_the_experiment_runner(self):
+        # Satellite: one helper, two consumers -- the runner's isolated
+        # retries must sleep the exact same schedule as the serve pool.
+        import repro.eval.runner as runner
+        import repro.serve.backoff as backoff
+
+        assert runner.backoff_delay is backoff.backoff_delay

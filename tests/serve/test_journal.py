@@ -1,0 +1,79 @@
+"""The two-phase write-ahead job journal."""
+
+import json
+
+from repro.ckpt.journal import LEDGER_NAME
+from repro.serve.journal import JobJournal
+from repro.serve.protocol import parse_request, resolve_request
+
+
+def _job(**fields):
+    return resolve_request(parse_request({"id": "j1", **fields}))
+
+
+class TestJobJournal:
+    def test_accepted_without_done_is_incomplete(self, tmp_path):
+        job = _job(workload="grep", model="scalar")
+        with JobJournal(tmp_path) as journal:
+            journal.accept(job)
+        completed, incomplete = JobJournal(tmp_path).load()
+        assert completed == {}
+        assert set(incomplete) == {job.key}
+        assert incomplete[job.key] == job
+        assert incomplete[job.key].key == job.key
+
+    def test_done_after_accept_is_completed(self, tmp_path):
+        job = _job(workload="grep", model="scalar")
+        result = {"kind": "simulate", "output": [1, 2]}
+        with JobJournal(tmp_path) as journal:
+            journal.accept(job)
+            journal.complete(job.key, result)
+        completed, incomplete = JobJournal(tmp_path).load()
+        assert incomplete == {}
+        assert completed == {job.key: result}
+
+    def test_wal_ordering_on_disk(self, tmp_path):
+        # The accept record must land before the done record: that is
+        # the write-ahead discipline the crash guarantees rest on.
+        job = _job(workload="grep", model="scalar")
+        with JobJournal(tmp_path) as journal:
+            journal.accept(job)
+            journal.complete(job.key, {"ok": True})
+        lines = (tmp_path / LEDGER_NAME).read_text().splitlines()
+        phases = [json.loads(line)["payload"]["phase"] for line in lines]
+        assert phases == ["accepted", "done"]
+
+    def test_torn_tail_and_foreign_lines_are_ignored(self, tmp_path):
+        job = _job(workload="grep", model="scalar")
+        with JobJournal(tmp_path) as journal:
+            journal.accept(job)
+            journal.complete(job.key, {"v": 1})
+        with open(tmp_path / LEDGER_NAME, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "other", "payload": {"phase": "acce')
+        completed, incomplete = JobJournal(tmp_path).load()
+        assert completed == {job.key: {"v": 1}}
+        assert incomplete == {}
+
+    def test_unreconstructable_accept_record_is_dropped(self, tmp_path):
+        with open(tmp_path / LEDGER_NAME, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "key": "k",
+                        "payload": {"phase": "accepted", "job": {"id": "x"}},
+                    }
+                )
+                + "\n"
+            )
+        completed, incomplete = JobJournal(tmp_path).load()
+        assert completed == {} and incomplete == {}
+
+    def test_last_record_per_key_wins(self, tmp_path):
+        job = _job(workload="grep", model="scalar")
+        with JobJournal(tmp_path) as journal:
+            journal.accept(job)
+            journal.complete(job.key, {"v": 1})
+            journal.accept(job)  # re-accepted in a later life
+        completed, incomplete = JobJournal(tmp_path).load()
+        assert completed == {}
+        assert set(incomplete) == {job.key}

@@ -250,6 +250,34 @@ class TestVerifyCli:
         out = capsys.readouterr().out
         assert "replaying" in out and "EQUIVALENT" in out
 
+    def test_verify_generous_max_cycles_passes(self, capsys):
+        assert main(
+            ["verify", "grep", "--model", "region_pred",
+             "--max-cycles", "10000000"]
+        ) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_verify_max_cycles_turns_livelock_into_exit_1(self, capsys):
+        # A tiny budget makes every engine blow its step limit; the
+        # result is a structured error divergence, never a hang or a
+        # raw traceback.
+        assert main(
+            ["verify", "grep", "--model", "region_pred", "--max-cycles", "5"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out and "StepLimitExceeded" in out
+
+    def test_verify_max_cycles_applies_to_replay(self, tmp_path, capsys):
+        from repro.verify.fuzz import build_case, derive_campaign
+
+        case_path = build_case(derive_campaign(0, 0)).save(
+            tmp_path / "case.json"
+        )
+        assert main(
+            ["verify", "--replay", str(case_path), "--max-cycles", "5"]
+        ) == 1
+        assert "StepLimitExceeded" in capsys.readouterr().out
+
 
 class TestCkptCli:
     def snapshot(self, tmp_path):
@@ -451,6 +479,71 @@ class TestDiffTraceCli:
         events = json.loads(target.read_text())
         validate_trace_events(events)
         assert {event["pid"] for event in events} == {1, 2}
+
+    def test_max_cycles_turns_livelock_into_exit_1(self, capsys):
+        assert main(
+            ["diff-trace", "grep", "--model", "region_pred",
+             "--max-cycles", "5"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out and "StepLimitExceeded" in out
+
+    def test_max_cycles_applies_to_replay(self, tmp_path, capsys):
+        from repro.verify.fuzz import build_case, derive_campaign
+
+        case_path = build_case(derive_campaign(0, 0)).save(
+            tmp_path / "case.json"
+        )
+        assert main(
+            ["diff-trace", "--replay", str(case_path), "--max-cycles", "5"]
+        ) == 1
+        assert "StepLimitExceeded" in capsys.readouterr().out
+
+
+class TestServeCli:
+    def test_frontend_is_required(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+    def test_frontends_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--stdio", "--http", "0"])
+
+    def test_bad_settings_exit_2(self, capsys):
+        assert main(["serve", "--stdio", "--queue-limit", "0"]) == 2
+        assert "queue limit" in capsys.readouterr().err
+
+    def test_stdio_serves_and_exits_on_eof(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import io
+
+        request = json.dumps(
+            {
+                "id": "c1",
+                "kind": "chaos",
+                "chaos": {"mode": "ok", "value": 5},
+            }
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+        assert main(
+            ["serve", "--stdio", "--journal", str(tmp_path / "j")]
+        ) == 0
+        captured = capsys.readouterr()
+        [line] = [l for l in captured.out.splitlines() if l.strip()]
+        response = json.loads(line)
+        assert response["status"] == "ok"
+        assert response["result"]["value"] == 5
+        assert "journal" in captured.err
+        # Results are durable: a second life replays without executing.
+        monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+        assert main(
+            ["serve", "--stdio", "--journal", str(tmp_path / "j")]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "1 durable result(s)" in captured.err
+        [line] = [l for l in captured.out.splitlines() if l.strip()]
+        assert json.loads(line)["result"]["value"] == 5
 
 
 class TestRunLogCli:
