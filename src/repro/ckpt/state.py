@@ -49,6 +49,7 @@ from repro.obs.metrics import NULL_SINK, MetricsSink
 from repro.sim.interpreter import Interpreter
 from repro.sim.memory import Memory
 from repro.sim.trace import BranchEvent
+from repro.taint.tags import taint_from_state, taint_to_state
 
 #: Envelope identifier; bump on breaking layout changes.
 CKPT_SCHEMA = "repro-checkpoint/v1"
@@ -252,6 +253,13 @@ def snapshot_vliw(machine: VLIWMachine) -> dict:
                 "fault": (
                     None if entry.fault is None else entry.fault.to_state()
                 ),
+                # Emitted only when present: taint-off snapshots stay
+                # byte-identical to the pre-taint layout.
+                **(
+                    {}
+                    if entry.taint is None
+                    else {"taint": taint_to_state(entry.taint)}
+                ),
             }
             for entry in machine._in_flight
         ],
@@ -361,6 +369,8 @@ def restore_vliw(
                 if entry.get("fault") is None
                 else FaultRecord.from_state(entry["fault"])
             ),
+            # Pre-taint snapshots have no "taint" key: all-clear.
+            taint=taint_from_state(entry.get("taint")),
         )
         for entry in state["in_flight"]
     ]

@@ -369,6 +369,79 @@ def _write_json(document: dict, target: str, tag: str) -> None:
         print(f"[{tag}] {path}", file=sys.stderr)
 
 
+def _cmd_verify_security(args) -> int:
+    """``repro verify --security``: taint-check instead of equivalence."""
+    from repro.taint import SecurityCase, run_security, security_document
+    from repro.verify import VERIFY_MODELS, resolve_model
+    from repro.workloads import all_workloads
+
+    sink = CounterSink()
+    limits: dict = {}
+    if args.max_cycles is not None:
+        limits = {"max_cycles": args.max_cycles}
+    results = []
+    reproduced = True
+    if args.replay:
+        case = SecurityCase.load(args.replay)
+        print(
+            f"replaying {args.replay} ({case.name}, policy {case.policy})"
+        )
+        result = case.run(sink=sink, **limits)
+        results.append(result)
+        if case.expected_kind is not None:
+            kinds = {leak.kind for leak in result.leaks}
+            reproduced = case.expected_kind in kinds
+            status = "reproduced" if reproduced else "did NOT reproduce"
+            print(f"pinned {case.expected_kind} leak: {status}")
+    else:
+        if args.target is None:
+            print(
+                "verify --security needs a workload/file target, 'all', "
+                "or --replay CASE.json",
+                file=sys.stderr,
+            )
+            return 2
+        models = (
+            list(dict.fromkeys(resolve_model(m) for m in VERIFY_MODELS))
+            if args.model == "all"
+            else [args.model]
+        )
+        targets = (
+            [w.name for w in all_workloads()]
+            if args.target == "all"
+            else [args.target]
+        )
+        if args.max_cycles is not None:
+            limits["max_steps"] = args.max_cycles
+        for target in targets:
+            program, train, memory = _load_program_and_memory(
+                target, args.seed
+            )
+            for model in models:
+                results.append(
+                    run_security(
+                        program,
+                        model,
+                        base_machine(),
+                        policy=args.policy,
+                        train_memory=train.clone(),
+                        eval_memory=memory.clone(),
+                        sink=sink,
+                        **limits,
+                    )
+                )
+    for result in results:
+        print(result.describe())
+    if args.json:
+        document = security_document(results, metrics=sink.to_dict())
+        _write_json(document, args.json, "security")
+    # A replayed leak case is *expected* to leak; success there means
+    # the pinned channel reproduced.  Everywhere else, secure-or-fail.
+    if args.replay and case.expected_kind is not None:
+        return 0 if reproduced else 1
+    return 0 if all(result.secure for result in results) else 1
+
+
 def cmd_verify(args) -> int:
     from repro.verify import (
         VERIFY_MODELS,
@@ -377,6 +450,8 @@ def cmd_verify(args) -> int:
         run_oracle,
     )
 
+    if args.security:
+        return _cmd_verify_security(args)
     sink = CounterSink()
     # --max-cycles caps both engines (machine cycles and interpreter
     # steps): a livelocked case yields a structured step-limit error
@@ -501,9 +576,60 @@ def cmd_diff_trace(args) -> int:
     return 0 if result.equivalent else 1
 
 
+def _cmd_fuzz_security(args) -> int:
+    """``repro fuzz --mode security``: sweep gadget space for leaks.
+
+    Campaigns are seed-deterministic and fast, so the journal/resume
+    machinery does not apply here; exit is 0 iff the detector agreed
+    with the generator's ground truth on every gadget.
+    """
+    from repro.taint import run_security_fuzz
+
+    if args.journal or args.resume:
+        print("--journal/--resume apply to divergence fuzzing only",
+              file=sys.stderr)
+        return 2
+    sink = CounterSink()
+    meter = ProgressLine("security") if args.progress else None
+    done = 0
+    detected = 0
+
+    def progress(spec, result) -> None:
+        nonlocal done, detected
+        done += 1
+        if not result.secure:
+            detected += 1
+        if args.verbose:
+            status = "LEAKED" if not result.secure else "clean"
+            print(f"  {spec.describe()}: {status}", file=sys.stderr)
+        if meter is not None:
+            meter.update(done, args.campaigns, f"{detected} leaks")
+
+    try:
+        report = run_security_fuzz(
+            args.campaigns,
+            args.seed,
+            policy=args.policy,
+            shrink=args.shrink,
+            out_dir=args.out,
+            sink=sink,
+            progress=progress,
+        )
+    finally:
+        if meter is not None:
+            meter.finish()
+    print(report.summary())
+    if args.json:
+        document = {**report.to_dict(), "metrics": sink.to_dict()}
+        _write_json(document, args.json, "security-fuzz")
+    return 0 if report.ok else 1
+
+
 def cmd_fuzz(args) -> int:
     from repro.verify import run_fuzz
 
+    if args.mode == "security":
+        return _cmd_fuzz_security(args)
     if args.resume and not args.journal:
         print("--resume needs --journal", file=sys.stderr)
         return 2
@@ -1120,6 +1246,27 @@ def build_parser() -> argparse.ArgumentParser:
             "livelocked case"
         ),
     )
+    verify_parser.add_argument(
+        "--security",
+        action="store_true",
+        help=(
+            "taint-check instead of equivalence-check: twin taint-on/"
+            "taint-off runs, exit 1 on any speculative information leak "
+            "(target may be 'all' for every workload; --replay takes a "
+            "repro-security-case/v1 JSON)"
+        ),
+    )
+    verify_parser.add_argument(
+        "--policy",
+        default="committed",
+        choices=["committed", "strict"],
+        help=(
+            "taint leak policy for --security: 'committed' flags "
+            "unconfirmed speculative data reaching architectural state; "
+            "'strict' additionally flags tainted predicate writes "
+            "(default: committed)"
+        ),
+    )
 
     diff_trace_parser = commands.add_parser(
         "diff-trace",
@@ -1191,6 +1338,22 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_parser.add_argument(
         "--campaigns", type=int, default=20, metavar="N",
         help="number of campaigns to run (default: 20)",
+    )
+    fuzz_parser.add_argument(
+        "--mode",
+        default="divergence",
+        choices=["divergence", "security"],
+        help=(
+            "'divergence' fuzzes machine-vs-scalar equivalence; "
+            "'security' sweeps seeded leak gadgets and cross-checks the "
+            "taint detector against ground truth (default: divergence)"
+        ),
+    )
+    fuzz_parser.add_argument(
+        "--policy",
+        default="committed",
+        choices=["committed", "strict"],
+        help="taint leak policy for --mode security (default: committed)",
     )
     fuzz_parser.add_argument(
         "--seed", type=int, default=0,

@@ -34,15 +34,25 @@ from repro.core.ccr import CCR
 from repro.core.exceptions import FaultRecord, ScheduleViolation
 from repro.core.predicate import Predicate, PredValue
 from repro.obs.metrics import NULL_SINK, MetricsSink
+from repro.taint.tags import TaintTag, taint_from_state, taint_to_state
 
 
 @dataclass
 class PendingWrite:
-    """One buffered speculative value: data + predicate + E flag."""
+    """One buffered speculative value: data + predicate + E flag.
+
+    ``taint`` is the information-flow track riding next to W/V/E: the
+    provenance of speculatively-loaded data this value depends on, or
+    None (clean).  Commit and squash move it for free -- a squashed
+    entry takes its taint with it, and a TRUE commit drops it (the
+    speculation was architecturally confirmed, so the value equals what
+    sequential execution computes).
+    """
 
     value: int
     pred: Predicate
     fault: FaultRecord | None = None
+    taint: frozenset[TaintTag] | None = None
 
 
 @dataclass
@@ -79,6 +89,7 @@ class CommitEvents:
     squashed: list[int] = field(default_factory=list)
     committed_values: list[tuple[int, int]] = field(default_factory=list)
     detected_faults: list[FaultRecord] = field(default_factory=list)
+    declassified: int = 0  # tainted writes whose TRUE commit cleared them
 
 
 class PredicatedRegisterFile:
@@ -133,6 +144,27 @@ class PredicatedRegisterFile:
                     return write.value
         return entry.sequential
 
+    def shadow_taint(
+        self,
+        reg: int,
+        reader_pred: Predicate | None = None,
+    ) -> tuple[bool, frozenset[TaintTag] | None]:
+        """The taint a shadow read of *reg* observes.
+
+        Mirrors :meth:`read`'s pending scan exactly: returns ``(True,
+        taint)`` when a buffered value would be returned (its taint may
+        still be None), else ``(False, None)`` -- the read fell back to
+        the sequential storage, whose taint the machine-side tracker
+        owns.
+        """
+        entry = self._entry(reg)
+        for write in reversed(entry.pending):
+            if reader_pred is None or not write.pred.disjoint_with(
+                reader_pred
+            ):
+                return True, write.taint
+        return False, None
+
     def shadow_fault(self, reg: int) -> FaultRecord | None:
         """The newest buffered fault on *reg*'s shadow, if any.
 
@@ -184,6 +216,7 @@ class PredicatedRegisterFile:
         value: int,
         pred: Predicate,
         fault: FaultRecord | None = None,
+        taint: frozenset[TaintTag] | None = None,
     ) -> None:
         """Buffer a speculative write of *value* under *pred* (sets V, E)."""
         if reg == self.zero_reg:
@@ -196,9 +229,11 @@ class PredicatedRegisterFile:
             # but an outstanding E flag persists -- the original fault is
             # architecturally real on this path even if its value was
             # overwritten before use, and the scalar execution would have
-            # trapped on it (precise-exception equivalence).
+            # trapped on it (precise-exception equivalence).  Taint is
+            # *not* merged: the superseded data is dead, only the new
+            # value's provenance can reach architectural state.
             fault = fault or entry.pending[-1].fault
-            entry.pending[-1] = PendingWrite(value, pred, fault)
+            entry.pending[-1] = PendingWrite(value, pred, fault, taint)
             return
         if (
             self.shadow_capacity is not None
@@ -208,7 +243,7 @@ class PredicatedRegisterFile:
                 f"shadow storage conflict on r{reg}: pending "
                 f"{entry.pending[-1].pred} vs new {pred}"
             )
-        entry.pending.append(PendingWrite(value, pred, fault))
+        entry.pending.append(PendingWrite(value, pred, fault, taint))
 
     # ------------------------------------------------------------------
     # Per-cycle commit hardware.
@@ -255,6 +290,11 @@ class PredicatedRegisterFile:
                             events.committed_values.append(
                                 (reg, write.value)
                             )
+                    if write.taint is not None:
+                        # Architecturally confirmed: the committed value
+                        # equals sequential execution's, so the write's
+                        # speculative provenance is declassified.
+                        events.declassified += 1
                     events.committed.append(reg)
                 else:
                     events.squashed.append(reg)
@@ -298,6 +338,14 @@ class PredicatedRegisterFile:
                             if write.fault is None
                             else write.fault.to_state()
                         ),
+                        # Taint rides snapshots only when present, so
+                        # taint-off captures stay byte-identical to the
+                        # pre-taint repro-checkpoint/v1 layout.
+                        **(
+                            {}
+                            if write.taint is None
+                            else {"taint": taint_to_state(write.taint)}
+                        ),
                     }
                     for write in entry.pending
                 ]
@@ -330,6 +378,8 @@ class PredicatedRegisterFile:
                         if write["fault"] is None
                         else FaultRecord.from_state(write["fault"])
                     ),
+                    # Pre-taint snapshots have no "taint" key: all-clear.
+                    taint=taint_from_state(write.get("taint")),
                 )
                 for write in writes
             ]

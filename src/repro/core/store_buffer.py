@@ -32,6 +32,7 @@ from repro.core.ccr import CCR
 from repro.core.exceptions import FaultRecord, ScheduleViolation
 from repro.core.predicate import ALWAYS, Predicate, PredValue
 from repro.obs.metrics import NULL_SINK, MetricsSink
+from repro.taint.tags import TaintTag, taint_from_state, taint_to_state
 
 
 @dataclass
@@ -44,6 +45,7 @@ class StoreBufferEntry:
     speculative: bool  # W flag
     valid: bool = True  # V flag
     fault: FaultRecord | None = None  # E flag when not None
+    taint: frozenset[TaintTag] | None = None  # information-flow track
 
 
 @dataclass
@@ -55,6 +57,7 @@ class StoreBufferEvents:
     retired_stores: list[tuple[int, int]] = field(default_factory=list)
     retired_outputs: list[int] = field(default_factory=list)
     detected_faults: list[FaultRecord] = field(default_factory=list)
+    declassified: int = 0  # tainted entries whose TRUE commit cleared them
 
 
 class PredicatedStoreBuffer:
@@ -83,6 +86,7 @@ class PredicatedStoreBuffer:
         *,
         speculative: bool,
         fault: FaultRecord | None = None,
+        taint: frozenset[TaintTag] | None = None,
     ) -> int:
         """Append a store at the FIFO tail; returns the entry serial."""
         if self.full:
@@ -96,6 +100,7 @@ class PredicatedStoreBuffer:
             pred=pred if speculative else ALWAYS,
             speculative=speculative,
             fault=fault,
+            taint=taint,
         )
         self._entries.append((self._serial, entry))
         return self._serial
@@ -139,6 +144,12 @@ class PredicatedStoreBuffer:
             verdict = ccr.evaluate(entry.pred)
             if verdict is PredValue.TRUE:
                 entry.speculative = False
+                if entry.taint is not None:
+                    # Architecturally confirmed: the entry retires with
+                    # the value sequential execution would have stored,
+                    # so its speculative provenance is declassified.
+                    entry.taint = None
+                    events.declassified += 1
                 events.committed.append(serial)
                 if entry.fault is not None:
                     events.detected_faults.append(entry.fault)
@@ -188,6 +199,26 @@ class PredicatedStoreBuffer:
                 f"load {reader_pred} vs store {entry.pred}"
             )
         return None
+
+    def lookup_taint(
+        self, address: int, reader_pred: Predicate
+    ) -> tuple[bool, frozenset[TaintTag] | None]:
+        """The taint a forwarded load at *address* would observe.
+
+        Mirrors :meth:`lookup`'s scan: ``(True, taint)`` when an entry
+        forwards (taint may be None), ``(False, None)`` when the load
+        reads the D-cache.  Called only after :meth:`lookup` succeeded,
+        so the ambiguous-overlap case cannot re-raise here.
+        """
+        for _, entry in reversed(self._entries):
+            if not entry.valid or entry.address != address:
+                continue
+            if not entry.speculative or reader_pred.implies(entry.pred):
+                return True, entry.taint
+            if reader_pred.disjoint_with(entry.pred):
+                continue
+            return False, None
+        return False, None
 
     def invalidate_speculative(self) -> None:
         """Squash all speculative entries (entry to recovery mode)."""
@@ -240,6 +271,13 @@ class PredicatedStoreBuffer:
                     "fault": (
                         None if entry.fault is None else entry.fault.to_state()
                     ),
+                    # Emitted only when present: taint-off snapshots stay
+                    # byte-identical to the pre-taint layout.
+                    **(
+                        {}
+                        if entry.taint is None
+                        else {"taint": taint_to_state(entry.taint)}
+                    ),
                 }
                 for serial, entry in self._entries
             ],
@@ -269,6 +307,8 @@ class PredicatedStoreBuffer:
                         if item["fault"] is None
                         else FaultRecord.from_state(item["fault"])
                     ),
+                    # Pre-taint snapshots have no "taint" key: all-clear.
+                    taint=taint_from_state(item.get("taint")),
                 ),
             )
             for item in state["entries"]

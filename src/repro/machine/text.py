@@ -1,0 +1,90 @@
+"""Textual VLIW programs: parse the listing :meth:`VLIWProgram.format` emits.
+
+The compilers build :class:`VLIWProgram` objects directly; this module
+exists for the *hand-scheduled* path -- security gadgets, fuzz campaign
+programs, and shrunk leak cases are stored as plain text so they are
+readable in a finding file and line-deletable by ddmin.  The grammar is
+exactly the ``format()`` listing::
+
+    entry:
+       0: addi r1, r0, 20
+       1: [c0] ld r2, r1, 100 ; clti c0, r1, 16
+       2: nop
+       3: out r4
+
+* ``label:`` lines attach to the next bundle;
+* a bundle line is ops joined by `` ; `` with an optional ``NNNN:``
+  index prefix (ignored -- bundles are re-indexed sequentially);
+* a bare ``nop`` bundle is an empty issue slot;
+* ``#`` starts a comment.
+
+Parsed programs are a single region covering every bundle (the paper's
+hand-scheduled examples are single-region too); an ``entry`` label is
+injected at bundle 0 when the text defines none there.  Branch targets
+may point anywhere inside the region -- the machine treats non-region
+targets as local transfers.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.parser import ParseError, parse_instruction
+from repro.machine.program import Bundle, RegionSpan, VLIWProgram
+
+_LABEL_LINE_RE = re.compile(r"^([A-Za-z_.$][A-Za-z0-9_.$]*):$")
+_INDEX_PREFIX_RE = re.compile(r"^\d+:\s*")
+
+
+def parse_vliw(text: str, name: str = "vliw") -> VLIWProgram:
+    """Parse a ``format()``-style listing into a validated program."""
+    bundles: list[Bundle] = []
+    labels: dict[str, int] = {}
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        comment = raw_line.find("#")
+        line = (raw_line if comment < 0 else raw_line[:comment]).strip()
+        if not line:
+            continue
+        label = _LABEL_LINE_RE.match(line)
+        if label:
+            head = label.group(1)
+            if head in labels:
+                raise ParseError(f"duplicate label {head!r}", line_number)
+            labels[head] = len(bundles)
+            continue
+        line = _INDEX_PREFIX_RE.sub("", line)
+        if line == "nop":
+            bundles.append(Bundle())
+            continue
+        try:
+            ops = tuple(
+                parse_instruction(part)
+                for part in line.split(" ; ")
+                if part.strip()
+            )
+        except ParseError as error:
+            raise ParseError(str(error), line_number) from error
+        bundles.append(Bundle(ops=ops))
+
+    if not bundles:
+        raise ParseError("program has no bundles")
+    entry = next(
+        (label for label, index in labels.items() if index == 0), None
+    )
+    if entry is None:
+        entry = "entry"
+        if entry in labels:
+            raise ParseError(
+                "label 'entry' does not point at bundle 0; "
+                "give bundle 0 an explicit label"
+            )
+        labels[entry] = 0
+    program = VLIWProgram(
+        bundles=bundles,
+        labels=labels,
+        regions=[RegionSpan(label=entry, start=0, end=len(bundles))],
+        name=name,
+    )
+    program.validate()
+    return program

@@ -85,6 +85,8 @@ from repro.obs.flight import NULL_RECORDER, FlightRecorder
 from repro.obs.metrics import NULL_SINK, MetricsSink
 from repro.obs.trace_events import CycleTraceRecorder
 from repro.sim.memory import Memory, MemoryFault
+from repro.taint.tags import TaintTag, merge_taint, rekind_address
+from repro.taint.track import NULL_TAINT, TaintTracker
 
 FaultHandler = Callable[[FaultRecord, "VLIWMachine"], bool]
 
@@ -107,6 +109,7 @@ class _InFlight:
     value: int
     pred: Predicate
     fault: FaultRecord | None = None
+    taint: frozenset[TaintTag] | None = None
 
 
 @dataclass
@@ -169,6 +172,7 @@ class VLIWMachine:
         tracer: CycleTraceRecorder | None = None,
         flight: FlightRecorder = NULL_RECORDER,
         effects: EffectStream | None = None,
+        taint: TaintTracker = NULL_TAINT,
     ):
         program.validate()
         self.program = program
@@ -180,6 +184,7 @@ class VLIWMachine:
         self.tracer = tracer
         self.flight = flight
         self.effects = effects
+        self.taint = taint
 
         self.ccr = CCR(config.ccr_entries)
         self.control_path = ControlPath(self.ccr)
@@ -224,13 +229,16 @@ class VLIWMachine:
         # committed-effect stream.
         self._observing = sink.enabled or tracer is not None
         self._forensics = flight.enabled or effects is not None
+        # Taint follows the same zero-cost convention: one cached bool,
+        # one branch per would-be taint site when tracking is off.
+        self._taint = taint.enabled
         # Commit-value collection in the regfile tick is opt-in so a
         # forensics-off run never pays the per-commit tuple.
         self.regfile.collect_commit_values = self._forensics
         self._last_issued: deque[tuple[int, int]] = deque(
             maxlen=SNAPSHOT_BUNDLES
         )
-        if self._observing or self._forensics:
+        if self._observing or self._forensics or self._taint:
             self._region_of_bundle = [0] * len(program.bundles)
             for index, span in enumerate(program.regions):
                 for bundle in range(span.start, span.end):
@@ -377,6 +385,17 @@ class VLIWMachine:
         sb_events = self.store_buffer.tick(self.ccr, self.memory, self.output)
         if self._forensics:
             self._forensic_tick(rf_events, sb_events)
+        if self._taint and rf_events.committed:
+            # Shadow entries confirmed TRUE moved to sequential storage
+            # with their taint declassified (the committed value equals
+            # sequential execution's); drop any stale sequential taint.
+            reg_taint = self.taint.reg_taint
+            for reg in rf_events.committed:
+                reg_taint.pop(reg, None)
+        if self._taint and (rf_events.declassified or sb_events.declassified):
+            self.taint.declassify(
+                rf_events.declassified + sb_events.declassified
+            )
         if self._cycle_events is not None:
             self._cycle_events.committed += [f"r{r}" for r in rf_events.committed]
             self._cycle_events.squashed += [f"r{r}" for r in rf_events.squashed]
@@ -750,8 +769,17 @@ class VLIWMachine:
             return None
         if opcode == "out":
             value = self._read_src(op, 0)
+            taint = None
+            if self._taint:
+                taint = self._sink_taint(
+                    op,
+                    self._src_taint(op, 0),
+                    speculative,
+                    "output",
+                    f"out {value}",
+                )
             serial = self.store_buffer.append(
-                None, value, op.pred, speculative=speculative
+                None, value, op.pred, speculative=speculative, taint=taint
             )
             if self._forensics and self.flight.enabled:
                 self.flight.record(
@@ -765,6 +793,20 @@ class VLIWMachine:
             return None
         if op.is_cond_set:
             values = self._source_values(op)
+            if self._taint:
+                taint = self._operand_taint(op)
+                if taint is not None:
+                    # Propagation, not (by default) a leak: compiled
+                    # condition-sets are re-predicated ``alw`` yet keep
+                    # their home path, so they legitimately read shadow
+                    # state of unresolved speculative loads.
+                    self.taint.ccr_write(
+                        op.dest_creg,
+                        taint,
+                        self.cycle,
+                        self.pc,
+                        self._region_name(),
+                    )
             return ("ccr", (op.dest_creg, eval_cond(opcode, *values)))
 
         # Plain ALU operation.
@@ -783,7 +825,12 @@ class VLIWMachine:
                 retry=lambda: eval_alu(opcode, *self._source_values(op)),
             )
             return None
-        self._schedule_writeback(op, value, speculative)
+        self._schedule_writeback(
+            op,
+            value,
+            speculative,
+            taint=self._operand_taint(op) if self._taint else None,
+        )
         return None
 
     def _execute_load(
@@ -803,7 +850,16 @@ class VLIWMachine:
                 str(op.pred) if speculative else None,
             )
         if forwarded is not None:
-            self._schedule_writeback(op, forwarded, speculative)
+            self._schedule_writeback(
+                op,
+                forwarded,
+                speculative,
+                taint=(
+                    self._load_taint(op, address, reader_pred, speculative)
+                    if self._taint
+                    else None
+                ),
+            )
             return None
         try:
             value = self.memory.load(address)
@@ -820,7 +876,16 @@ class VLIWMachine:
                 retry=lambda: self.memory.load(address),
             )
             return None
-        self._schedule_writeback(op, value, speculative)
+        self._schedule_writeback(
+            op,
+            value,
+            speculative,
+            taint=(
+                self._load_taint(op, address, reader_pred, speculative)
+                if self._taint
+                else None
+            ),
+        )
         return None
 
     def _execute_store(self, op: Instruction, speculative: bool) -> None:
@@ -849,8 +914,27 @@ class VLIWMachine:
             self._maybe_fault = True
             if self._forensics:
                 self._forensic_fault("fault.buffer", fault, op.pred)
+        taint = None
+        if self._taint:
+            taint = merge_taint(
+                self._src_taint(op, 0),
+                rekind_address(self._src_taint(op, 1)),
+            )
+            taint = self._sink_taint(
+                op, taint, speculative, "memory", f"mem[{address}] = {value}"
+            )
+            if taint is not None and not speculative:
+                tracker = self.taint
+                tracker.mem_taint[address] = merge_taint(
+                    tracker.mem_taint.get(address), taint
+                )
         serial = self.store_buffer.append(
-            address, value, op.pred, speculative=speculative, fault=fault
+            address,
+            value,
+            op.pred,
+            speculative=speculative,
+            fault=fault,
+            taint=taint,
         )
         if self._forensics and self.flight.enabled:
             self.flight.record(
@@ -938,18 +1022,130 @@ class VLIWMachine:
             values.append(op.imm)
         return values
 
+    # ------------------------------------------------------------------
+    # Taint flow.  Every call site is guarded by the cached ``_taint``
+    # boolean (the NULL_SINK zero-cost convention), so a taint-off run
+    # pays one branch per site and none of these methods execute.
+    # ------------------------------------------------------------------
+    def _src_taint(
+        self, op: Instruction, source_number: int
+    ) -> frozenset[TaintTag] | None:
+        """The taint the matching :meth:`_read_src` observed: a shadow
+        hit's buffered taint, else the sequential register's tracker
+        taint."""
+        positions = op.source_positions
+        reg = op.src_regs[source_number]
+        if positions[source_number] in op.shadow:
+            hit, taint = self.regfile.shadow_taint(reg, op.pred)
+            if hit:
+                return taint
+        return self.taint.reg_taint.get(reg)
+
+    def _operand_taint(self, op: Instruction) -> frozenset[TaintTag] | None:
+        taint: frozenset[TaintTag] | None = None
+        for number in range(len(op.src_regs)):
+            taint = merge_taint(taint, self._src_taint(op, number))
+        return taint
+
+    def _load_taint(
+        self,
+        op: Instruction,
+        address: int,
+        reader_pred: Predicate,
+        speculative: bool,
+    ) -> frozenset[TaintTag] | None:
+        """Value taint of a load: the forwarded entry's (or committed
+        memory's) taint, plus the address operand's taint re-kinded
+        ``address``, plus -- for an UNSPEC load -- a fresh source tag
+        (this is the E-flag moment the threat model keys on)."""
+        hit, taint = self.store_buffer.lookup_taint(address, reader_pred)
+        if not hit:
+            taint = self.taint.mem_taint.get(address)
+        taint = merge_taint(taint, rekind_address(self._src_taint(op, 0)))
+        if speculative:
+            taint = merge_taint(
+                taint,
+                self.taint.source(
+                    self.cycle, self.pc, self._region_name(), address
+                ),
+            )
+        return taint
+
+    def _sink_taint(
+        self,
+        op: Instruction,
+        taint: frozenset[TaintTag] | None,
+        speculative: bool,
+        kind: str,
+        detail: str,
+    ) -> frozenset[TaintTag] | None:
+        """Police tainted data entering a committed sink (store/out).
+
+        Speculative inserts keep their taint buffered (commit
+        declassifies, squash discards).  A non-speculative insert of
+        tainted data under the ``alw`` predicate is the leak the
+        subsystem exists to catch: unconfirmed speculative data bound
+        for architectural state.  A *predicated* op whose verdict was
+        already TRUE at issue is architecturally confirmed -- compiled
+        code reads shadow state this way routinely -- so it declassifies
+        instead.
+        """
+        if taint is None or speculative:
+            return taint
+        if op.pred.is_always:
+            self.taint.leak(
+                kind, self.cycle, self.pc, self._region_name(), detail, taint
+            )
+            return taint
+        self.taint.declassify()
+        return None
+
+    def _commit_taint(self, entry: _InFlight) -> None:
+        """An in-flight result just TRUE-committed to sequential state."""
+        tracker = self.taint
+        if entry.taint is None:
+            tracker.reg_taint.pop(entry.reg, None)
+        elif entry.pred.is_always:
+            # An always-predicate consumer committed data that depends
+            # on a still-unconfirmed speculative load.  Compiled code is
+            # clean by construction here (the dependence graph forces
+            # ``alw`` consumers onto committed sequential state), so
+            # this fires only for hand-scheduled gadgets.
+            tracker.leak(
+                "register",
+                self.cycle,
+                self.pc,
+                self._region_name(),
+                f"r{entry.reg} = {entry.value}",
+                entry.taint,
+            )
+            tracker.reg_taint[entry.reg] = entry.taint
+        else:
+            # The entry's own predicate resolved TRUE: architecturally
+            # confirmed, so the value equals sequential execution's.
+            tracker.declassify()
+            tracker.reg_taint.pop(entry.reg, None)
+
     def _schedule_writeback(
         self,
         op: Instruction,
         value: int,
         speculative: bool,
         fault: FaultRecord | None = None,
+        taint: frozenset[TaintTag] | None = None,
     ) -> None:
         dest = op.dest_reg
         if dest is None:
             return
         if fault is not None:
             self._maybe_fault = True
+        if taint is not None and not speculative and not op.pred.is_always:
+            # A predicated op whose verdict was TRUE at issue flies with
+            # the ALWAYS predicate below, which would defeat the
+            # is_always leak test at commit -- declassify here instead
+            # (the op's own speculation is already confirmed).
+            self.taint.declassify()
+            taint = None
         pred = op.pred if speculative else ALWAYS
         self._in_flight.append(
             _InFlight(
@@ -958,6 +1154,7 @@ class VLIWMachine:
                 value=value,
                 pred=pred,
                 fault=fault,
+                taint=taint,
             )
         )
 
@@ -977,13 +1174,19 @@ class VLIWMachine:
                     )
                 self.regfile.supersede_pending(entry.reg, ccr)
                 self.regfile.write_sequential(entry.reg, entry.value)
+                if self._taint:
+                    self._commit_taint(entry)
                 if self._cycle_events is not None:
                     self._cycle_events.sequential_writes.append(entry.reg)
                 if self._forensics:
                     self._forensic_writeback(entry, shadow=False)
             elif verdict is PredValue.UNSPEC:
                 self.regfile.write_speculative(
-                    entry.reg, entry.value, entry.pred, fault=entry.fault
+                    entry.reg,
+                    entry.value,
+                    entry.pred,
+                    fault=entry.fault,
+                    taint=entry.taint,
                 )
                 if self._cycle_events is not None:
                     self._cycle_events.speculative_writes.append(
@@ -1002,6 +1205,8 @@ class VLIWMachine:
             ):
                 self.regfile.supersede_pending(entry.reg, self.ccr)
                 self.regfile.write_sequential(entry.reg, entry.value)
+                if self._taint:
+                    self._commit_taint(entry)
                 if self._forensics:
                     self._forensic_writeback(entry, shadow=False)
         self._in_flight = []
@@ -1115,6 +1320,10 @@ class VLIWMachine:
             self.regfile.invalidate_speculative()
             self.store_buffer.invalidate_speculative()
             self.ccr.reset()
+            if self._taint:
+                # The CCR reset discards the conditions; their taint
+                # goes with them.
+                self.taint.clear_ccr()
             self.rpc = destination
         if self._btb is not None and not self._btb.access(self.pc):
             penalty = self.config.taken_penalty_indirect

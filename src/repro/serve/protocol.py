@@ -47,8 +47,13 @@ JOB_KEY_VERSION = 1
 
 #: Job kinds.  ``chaos`` mirrors the experiment runner's chaos cells:
 #: deliberate misbehaviour (raise/hang/kill/wait_for) for exercising the
-#: service's failure paths in tests and CI.
-JOB_KINDS = ("simulate", "chaos")
+#: service's failure paths in tests and CI.  ``security`` is a twin-run
+#: taint check (:func:`repro.taint.oracle.run_security`) of the same
+#: compiled program a simulate job would run.
+JOB_KINDS = ("simulate", "chaos", "security")
+
+#: Taint policies a security job may name.
+JOB_POLICIES = ("committed", "strict")
 
 #: Models a job may name (``predicating`` is the paper's region_pred).
 JOB_MODELS = ("scalar", "predicating", "region_pred", "trace_pred")
@@ -74,6 +79,7 @@ class JobSpec:
     config_overrides: tuple[tuple[str, object], ...]
     memory_words: tuple[tuple[int, int], ...]
     chaos: tuple[tuple[str, object], ...]
+    policy: str = "committed"  # taint policy (security jobs only)
 
 
 @dataclass(frozen=True)
@@ -95,6 +101,7 @@ class ResolvedJob:
     config: MachineConfig | None
     memory_words: tuple[tuple[int, int], ...]
     chaos: tuple[tuple[str, object], ...]
+    policy: str = "committed"  # taint policy (security jobs only)
     key: str = field(default="", compare=False)
     group: str = field(default="", compare=False)
 
@@ -134,10 +141,10 @@ def parse_request(line: str | dict) -> JobSpec:
 
     workload = document.get("workload")
     program_text = document.get("program")
-    if kind == "simulate":
+    if kind in ("simulate", "security"):
         _require(
             (workload is None) != (program_text is None),
-            "a simulate job needs exactly one of 'workload' or 'program'",
+            f"a {kind} job needs exactly one of 'workload' or 'program'",
         )
         if workload is not None:
             _require(isinstance(workload, str), "'workload' must be a string")
@@ -147,6 +154,17 @@ def parse_request(line: str | dict) -> JobSpec:
     _require(
         model in JOB_MODELS,
         f"unknown model {model!r} (expected one of {JOB_MODELS})",
+    )
+    if kind == "security":
+        _require(
+            model != "scalar",
+            "a security job taint-checks the predicating machine; "
+            "pick a predicating model, not 'scalar'",
+        )
+    policy = document.get("policy", "committed")
+    _require(
+        policy in JOB_POLICIES,
+        f"unknown taint policy {policy!r} (expected one of {JOB_POLICIES})",
     )
     seed = document.get("seed")
     _require(
@@ -194,6 +212,7 @@ def parse_request(line: str | dict) -> JobSpec:
         config_overrides=tuple(sorted(overrides.items())),
         memory_words=memory_words,
         chaos=tuple(sorted(chaos.items())),
+        policy=policy,
     )
 
 
@@ -269,24 +288,27 @@ def resolve_request(spec: JobSpec) -> ResolvedJob:
 
     group_payload = {
         "version": JOB_KEY_VERSION,
-        "kind": "simulate",
+        "kind": spec.kind,
         "program": program_text,
         "model": model,
         "config": canonical(config),
         "train": train,
     }
     group = _job_digest(group_payload)
-    key = _job_digest(
-        {
-            "group": group,
-            "seed": seed,
-            "memory": dict(spec.memory_words),
-        }
-    )
+    key_payload = {
+        "group": group,
+        "seed": seed,
+        "memory": dict(spec.memory_words),
+    }
+    if spec.kind == "security":
+        # The taint policy changes the result (strict adds predicate
+        # leaks), so it is part of the job's identity.
+        key_payload["policy"] = spec.policy
+    key = _job_digest(key_payload)
     return ResolvedJob(
         id=spec.id,
         client=spec.client,
-        kind="simulate",
+        kind=spec.kind,
         name=name,
         workload=spec.workload,
         program_text=None if spec.workload is not None else program_text,
@@ -295,6 +317,7 @@ def resolve_request(spec: JobSpec) -> ResolvedJob:
         config=config,
         memory_words=spec.memory_words,
         chaos=(),
+        policy=spec.policy,
         key=key,
         group=group,
     )
@@ -318,6 +341,7 @@ def job_to_payload(job: ResolvedJob) -> dict:
         "config": None if job.config is None else canonical(job.config),
         "memory": {str(a): v for a, v in job.memory_words},
         "chaos": dict(job.chaos),
+        "policy": job.policy,
         "key": job.key,
         "group": job.group,
     }
@@ -340,6 +364,7 @@ def job_from_payload(payload: dict) -> ResolvedJob:
             sorted((int(a), v) for a, v in payload.get("memory", {}).items())
         ),
         chaos=tuple(sorted(payload.get("chaos", {}).items())),
+        policy=payload.get("policy", "committed"),
         key=payload["key"],
         group=payload["group"],
     )

@@ -94,6 +94,8 @@ def run_job(job: ResolvedJob) -> dict:
     """
     if job.kind == "chaos":
         return _run_chaos(job)
+    if job.kind == "security":
+        return _run_security(job)
     from repro.machine.scalar import run_scalar
 
     program, cfg, compiled = _compiled(job)
@@ -121,6 +123,42 @@ def run_job(job: ResolvedJob) -> dict:
     result["machine_cycles"] = machine_result.cycles
     result["speedup"] = evaluation.cycles / machine_result.cycles
     return result
+
+
+def _run_security(job: ResolvedJob) -> dict:
+    """Twin-run taint check of the job's compiled program.
+
+    Rides the same per-group compile cache as simulate jobs, so a batch
+    of security sweeps over one workload compiles once.
+    """
+    from repro.taint.oracle import run_security
+
+    _, _, compiled = _compiled(job)
+    assert compiled is not None and compiled.vliw is not None
+    security = run_security(
+        vliw=compiled.vliw,
+        config=job.config,
+        policy=job.policy,
+        eval_memory=_eval_memory(job),
+    )
+    if security.error is not None:
+        raise RuntimeError(
+            f"{job.name}/{job.model}: security oracle error: "
+            f"{security.error}"
+        )
+    first = security.first_leak
+    return {
+        "kind": "security",
+        "name": job.name,
+        "model": job.model,
+        "policy": job.policy,
+        "secure": security.secure,
+        "leaks": len(security.leaks),
+        "first_leak": None if first is None else first.to_dict(),
+        "counters": security.counters,
+        "baseline_cycles": security.baseline_cycles,
+        "taint_cycles": security.taint_cycles,
+    }
 
 
 def _run_chaos(job: ResolvedJob) -> dict:

@@ -41,6 +41,8 @@ from repro.obs.flight import NULL_RECORDER, FlightRecorder
 from repro.obs.metrics import NULL_SINK, MetricsSink
 from repro.sim.memory import Memory, MemoryFault
 from repro.sim.trace import DynamicTrace
+from repro.taint.tags import merge_taint, rekind_address
+from repro.taint.track import NULL_TAINT, TaintTracker
 
 FaultHandler = Callable[[FaultRecord, "Interpreter"], bool]
 
@@ -105,6 +107,7 @@ class Interpreter:
         sink: MetricsSink = NULL_SINK,
         flight: FlightRecorder = NULL_RECORDER,
         effects: EffectStream | None = None,
+        taint: TaintTracker = NULL_TAINT,
     ):
         program.validate()
         for instruction in program.instructions:
@@ -125,6 +128,12 @@ class Interpreter:
         self.flight = flight
         self.effects = effects
         self._forensics = flight.enabled or effects is not None
+        # Information flow: the scalar model has no speculation, so the
+        # only sources are taints seeded by a campaign or test; every
+        # architectural write is an immediate commit, hence an immediate
+        # sink check.  Guarded by one cached boolean like forensics.
+        self.taint = taint
+        self._taint = taint.enabled
         self._current_block: int | None = None
         self.registers = [0] * NUM_REGS
         self.cregs = [False] * NUM_CREGS
@@ -235,6 +244,14 @@ class Interpreter:
                 )
                 value = self.memory.load(address)
                 self.write_reg(instruction.dest_reg, value)
+                if self._taint:
+                    loaded = merge_taint(
+                        self.taint.mem_taint.get(address),
+                        rekind_address(
+                            self.taint.reg_taint.get(instruction.src_regs[0])
+                        ),
+                    )
+                    self._set_reg_taint(instruction.dest_reg, loaded)
                 if self._forensics:
                     self._forensic_reg(instruction.dest_reg, value)
                 next_load_dest = instruction.dest_reg
@@ -245,11 +262,41 @@ class Interpreter:
                 )
                 value = self.read_reg(value_reg)
                 self.memory.store(address, value)
+                if self._taint:
+                    stored = merge_taint(
+                        self.taint.reg_taint.get(value_reg),
+                        rekind_address(self.taint.reg_taint.get(addr_reg)),
+                    )
+                    if stored is not None:
+                        self.taint.leak(
+                            "memory",
+                            self.scalar_cycles,
+                            self.pc,
+                            self._region_name(),
+                            f"mem[{address}] = {value}",
+                            stored,
+                        )
+                        self.taint.mem_taint[address] = merge_taint(
+                            self.taint.mem_taint.get(address), stored
+                        )
+                    else:
+                        self.taint.mem_taint.pop(address, None)
                 if self._forensics:
                     self._forensic_mem(address, value)
             elif opcode == "out":
                 value = self.read_reg(instruction.src_regs[0])
                 self.output.append(value)
+                if self._taint:
+                    emitted = self.taint.reg_taint.get(instruction.src_regs[0])
+                    if emitted is not None:
+                        self.taint.leak(
+                            "output",
+                            self.scalar_cycles,
+                            self.pc,
+                            self._region_name(),
+                            f"out {value}",
+                            emitted,
+                        )
                 if self._forensics:
                     self._forensic_out(value)
             elif opcode == "br" or opcode == "brf":
@@ -272,6 +319,20 @@ class Interpreter:
                     values.append(instruction.imm)
                 condition = eval_cond(opcode, *values)
                 self.cregs[instruction.dest_creg] = condition
+                if self._taint:
+                    operand = self._union_reg_taint(instruction.src_regs)
+                    if operand is not None:
+                        self.taint.ccr_write(
+                            instruction.dest_creg,
+                            operand,
+                            self.scalar_cycles,
+                            self.pc,
+                            self._region_name(),
+                        )
+                    else:
+                        self.taint.ccr_taint.pop(
+                            instruction.dest_creg, None
+                        )
                 if self._forensics and self.flight.enabled:
                     self.flight.record(
                         self.scalar_cycles,
@@ -286,6 +347,11 @@ class Interpreter:
                     values.append(instruction.imm)
                 value = eval_alu(opcode, *values)
                 self.write_reg(instruction.dest_reg, value)
+                if self._taint:
+                    self._set_reg_taint(
+                        instruction.dest_reg,
+                        self._union_reg_taint(instruction.src_regs),
+                    )
                 if self._forensics:
                     self._forensic_reg(instruction.dest_reg, value)
         except (MemoryFault, ArithmeticFault) as error:
@@ -318,6 +384,26 @@ class Interpreter:
         self.pc = next_pc
         if taken_transfer or self.pc in self._block_of_index:
             self._note_block_entry(self.pc)
+
+    # ------------------------------------------------------------------
+    # Taint plumbing (guarded by ``self._taint`` at every call site).
+    # ------------------------------------------------------------------
+    def _set_reg_taint(self, reg, taint) -> None:
+        """Overwrite a register's taint; a clean write scrubs old taint
+        (the register now holds untainted data).  r0 stays clean."""
+        if reg == ZERO_REG:
+            return
+        if taint is None:
+            self.taint.reg_taint.pop(reg, None)
+        else:
+            self.taint.reg_taint[reg] = taint
+
+    def _union_reg_taint(self, regs):
+        """The merged taint of a source-register tuple (None if clean)."""
+        taint = None
+        for reg in regs:
+            taint = merge_taint(taint, self.taint.reg_taint.get(reg))
+        return taint
 
     def _uses_loaded_value(self, instruction: Instruction) -> bool:
         return (
@@ -459,6 +545,7 @@ def run_program(
     sink: MetricsSink = NULL_SINK,
     flight: FlightRecorder = NULL_RECORDER,
     effects: EffectStream | None = None,
+    taint: TaintTracker = NULL_TAINT,
 ) -> InterpreterResult:
     """Convenience wrapper: construct an :class:`Interpreter` and run it."""
     interpreter = Interpreter(
@@ -470,5 +557,6 @@ def run_program(
         sink=sink,
         flight=flight,
         effects=effects,
+        taint=taint,
     )
     return interpreter.run()

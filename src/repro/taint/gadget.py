@@ -1,0 +1,156 @@
+"""Seeded generator of speculative leak gadgets (and their clean twins).
+
+Every gadget is a hand-scheduled single-region VLIW program built around
+the Spectre-v1 shape the paper's hardware makes possible:
+
+* a bounds check compiled to a condition-set that resolves *late*;
+* a load predicated on that condition, issued while it is UNSPEC --
+  speculatively executed, E-flag set, out-of-bounds index reaching past
+  a public array into a secret word;
+* a consumer that moves the speculatively loaded value toward committed
+  state.
+
+The **leaky** variants give the consumer the ``alw`` predicate so the
+secret escapes the shadow structures before the bounds check squashes
+the load; the **clean** variants are the same program with the one
+repair a correct compiler would make (check first, predicate the
+consumer, or drop the consumer).  The generator knows the ground truth
+(``expected_leak``), so the campaign can assert the detector agrees --
+a mismatch in either direction is a detector bug, not a finding.
+
+Derivation is deterministic from ``(seed, index)`` with the same
+``random.Random(f"repro-security:{seed}:{index}")`` convention the
+divergence fuzzer uses, so campaigns replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+#: Variants that leak: an alw consumer commits speculative data.
+LEAKY_VARIANTS = ("alu-out", "store", "direct-out")
+
+#: Variants that are the leaky shapes correctly repaired.
+CLEAN_VARIANTS = ("checked", "predicated-consumer", "no-consumer")
+
+VARIANTS = LEAKY_VARIANTS + CLEAN_VARIANTS
+
+#: Leak kind the detector must report for each leaky variant.
+EXPECTED_KIND = {
+    "alu-out": "register",
+    "store": "memory",
+    "direct-out": "output",
+}
+
+
+@dataclass
+class GadgetSpec:
+    """One derived gadget: program text, memory image, ground truth."""
+
+    seed: int
+    index: int
+    variant: str
+    expected_leak: bool
+    expected_kind: str | None
+    base: int
+    bound: int
+    oob_index: int
+    secret_address: int
+    secret: int
+    vliw_text: str
+    memory_words: dict[int, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        fate = (
+            f"leaks ({self.expected_kind})" if self.expected_leak else "clean"
+        )
+        return (
+            f"gadget[{self.seed}:{self.index}] {self.variant}: {fate}, "
+            f"array@{self.base}+{self.bound}, index {self.oob_index}, "
+            f"secret mem[{self.secret_address}]={self.secret}"
+        )
+
+
+def derive_gadget(seed: int, index: int) -> GadgetSpec:
+    """The gadget for campaign *seed*, case *index* (deterministic)."""
+    rng = random.Random(f"repro-security:{seed}:{index}")
+    variant = rng.choice(VARIANTS)
+    return build_gadget(seed, index, variant, rng)
+
+
+def build_gadget(
+    seed: int, index: int, variant: str, rng: random.Random
+) -> GadgetSpec:
+    """Materialize *variant* with rng-drawn addresses and values."""
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown gadget variant {variant!r}")
+    base = rng.randrange(64, 256, 4)
+    bound = rng.randrange(8, 24)
+    # The out-of-bounds index reaches past the array's end into the
+    # secret word planted right there.
+    oob_index = bound + rng.randrange(1, 8)
+    secret_address = base + oob_index
+    secret = rng.randrange(10_000, 99_999)
+    public_sink = base + rng.randrange(0, bound)
+
+    memory_words = {base + i: rng.randrange(0, 100) for i in range(bound)}
+    memory_words[secret_address] = secret
+
+    # Register plan (r0 is the zero register).
+    idx, val, acc = 1, 2, 3
+
+    lines = ["entry:"]
+
+    def bundle(*ops: str) -> None:
+        lines.append("  " + " ; ".join(ops))
+
+    check = f"clti c0, r{idx}, {bound}"  # c0 := idx < bound
+    load = f"[c0] ld r{val}, r{idx}, {base}"
+    bundle(f"addi r{idx}, r0, {oob_index}")
+    if variant == "checked":
+        # The repaired shape: the bounds check resolves before the load
+        # issues, so the load is squashed at issue -- never executed,
+        # never a source.
+        bundle(check)
+        bundle("nop")
+        bundle(load)
+        bundle(f"add r{acc}, r{val}.s, r0")
+        bundle(f"out r{acc}")
+    else:
+        # The vulnerable shape: the load issues under UNSPEC c0 and
+        # executes speculatively; the check lands only afterwards.
+        bundle(load)
+        bundle("nop")
+        if variant == "alu-out":
+            bundle(f"add r{acc}, r{val}.s, r0")  # alw consumer: leaks
+            bundle(check)
+            bundle(f"out r{acc}")
+        elif variant == "store":
+            bundle(f"st r{val}.s, r0, {public_sink}")  # alw store: leaks
+            bundle(check)
+        elif variant == "direct-out":
+            bundle(f"out r{val}.s")  # alw output: leaks
+            bundle(check)
+        elif variant == "predicated-consumer":
+            bundle(f"[c0] add r{acc}, r{val}.s, r0")  # squashes with c0
+            bundle(check)
+            bundle(f"out r{acc}")
+        elif variant == "no-consumer":
+            bundle(check)  # nobody reads the shadow: squash, clean
+    bundle("halt")
+
+    return GadgetSpec(
+        seed=seed,
+        index=index,
+        variant=variant,
+        expected_leak=variant in LEAKY_VARIANTS,
+        expected_kind=EXPECTED_KIND.get(variant),
+        base=base,
+        bound=bound,
+        oob_index=oob_index,
+        secret_address=secret_address,
+        secret=secret,
+        vliw_text="\n".join(lines) + "\n",
+        memory_words=memory_words,
+    )

@@ -1,0 +1,70 @@
+"""The ``repro-security/v1`` artifact: taint-check results as JSON.
+
+One document covers one ``repro verify --security`` invocation -- any
+mix of workloads, models and hand-scheduled programs.  Every result
+carries the full leak list plus first-leak provenance (cycle, pc,
+region, source tags, the flight-recorder window around the leak), so a
+failing CI run is diagnosable from the uploaded artifact alone.
+"""
+
+from __future__ import annotations
+
+from repro.taint.oracle import SecurityResult
+
+#: Artifact identifier; bump on breaking layout changes.
+SECURITY_SCHEMA = "repro-security/v1"
+
+#: Keys every result entry must carry (CI validates these).
+_RESULT_KEYS = (
+    "program",
+    "model",
+    "policy",
+    "secure",
+    "leaks",
+    "first_leak",
+    "counters",
+)
+
+
+def security_document(
+    results: list[SecurityResult], *, metrics: dict | None = None
+) -> dict:
+    """The artifact for one ``--security`` invocation."""
+    return {
+        "schema": SECURITY_SCHEMA,
+        "secure": all(result.secure for result in results),
+        "checked": len(results),
+        "leaks": sum(len(result.leaks) for result in results),
+        "results": [result.to_dict() for result in results],
+        **({} if metrics is None else {"metrics": metrics}),
+    }
+
+
+def validate_security(document: dict) -> None:
+    """Raise ValueError when *document* is not a well-formed artifact."""
+    from repro.ckpt.state import schema_mismatch_message
+
+    if not isinstance(document, dict):
+        raise ValueError("security artifact must be a JSON object")
+    schema = document.get("schema")
+    if schema != SECURITY_SCHEMA:
+        raise ValueError(schema_mismatch_message(schema, SECURITY_SCHEMA))
+    results = document.get("results")
+    if not isinstance(results, list):
+        raise ValueError("security artifact missing 'results' list")
+    for index, result in enumerate(results):
+        if not isinstance(result, dict):
+            raise ValueError(f"results[{index}] is not an object")
+        missing = [key for key in _RESULT_KEYS if key not in result]
+        if missing:
+            raise ValueError(
+                f"results[{index}] missing keys: {', '.join(missing)}"
+            )
+        if not result["secure"] and not (
+            result["leaks"] or result.get("error")
+        ):
+            raise ValueError(
+                f"results[{index}] is insecure but names no leak or error"
+            )
+    if document.get("secure") != all(r["secure"] for r in results):
+        raise ValueError("'secure' flag disagrees with results")

@@ -1,0 +1,116 @@
+"""Taint tags: the provenance lattice carried next to W/V/E.
+
+A *taint* is either ``None`` (clean -- the overwhelmingly common case,
+so the hot-path test is one ``is not None``) or a non-empty
+``frozenset`` of :class:`TaintTag`.  Each tag names one source event: a
+load executed while its predicate was still UNSPEC (the E-flag moment),
+or a seeded tag planted by a test/campaign.  Merging is set union, so
+provenance survives arbitrary ALU mixing.
+
+Tags distinguish *value* taint (the loaded data itself is speculative)
+from *address* taint (the data was loaded from an address computed from
+speculative data -- the cache-indexing half of a Spectre gadget).  When
+tainted data flows into an address calculation the resulting load's
+value carries the source tags re-kinded as ``address``.
+
+This module must stay dependency-free: the core buffer classes
+(:mod:`repro.core.regfile`, :mod:`repro.core.store_buffer`) import it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "TaintTag",
+    "merge_taint",
+    "rekind_address",
+    "taint_from_state",
+    "taint_to_state",
+]
+
+#: Tag kinds: what about the source is speculative.
+KIND_VALUE = "value"
+KIND_ADDRESS = "address"
+
+
+@dataclass(frozen=True, slots=True)
+class TaintTag:
+    """One taint source event, stamped with where/when it happened."""
+
+    kind: str  # "value" | "address"
+    cycle: int  # cycle (machine) or step (interpreter) of the source
+    pc: int
+    region: str | None
+    address: int | None  # address the source load read, if any
+    origin: str = "spec-load"  # "spec-load" | "seed"
+
+    def describe(self) -> str:
+        where = f"{self.region or '?'}@pc{self.pc}"
+        addr = f" addr={self.address}" if self.address is not None else ""
+        return f"{self.kind}:{self.origin} cyc={self.cycle} {where}{addr}"
+
+    def to_state(self) -> dict:
+        return {
+            "kind": self.kind,
+            "cycle": self.cycle,
+            "pc": self.pc,
+            "region": self.region,
+            "address": self.address,
+            "origin": self.origin,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TaintTag":
+        return cls(
+            kind=state["kind"],
+            cycle=state["cycle"],
+            pc=state["pc"],
+            region=state.get("region"),
+            address=state.get("address"),
+            origin=state.get("origin", "spec-load"),
+        )
+
+
+def merge_taint(
+    a: frozenset[TaintTag] | None, b: frozenset[TaintTag] | None
+) -> frozenset[TaintTag] | None:
+    """Union of two optional tag sets; ``None`` stays the clean value."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a | b
+
+
+def rekind_address(
+    taint: frozenset[TaintTag] | None,
+) -> frozenset[TaintTag] | None:
+    """The same tags, re-kinded ``address``: tainted data used as an
+    address taints what the address reaches."""
+    if taint is None:
+        return None
+    return frozenset(
+        tag if tag.kind == KIND_ADDRESS else replace(tag, kind=KIND_ADDRESS)
+        for tag in taint
+    )
+
+
+def taint_to_state(taint: frozenset[TaintTag] | None) -> list[dict] | None:
+    """JSON-native form; deterministic order so snapshots hash stably."""
+    if taint is None:
+        return None
+    return [
+        tag.to_state()
+        for tag in sorted(
+            taint, key=lambda t: (t.cycle, t.pc, t.kind, t.origin)
+        )
+    ]
+
+
+def taint_from_state(
+    state: list[dict] | None,
+) -> frozenset[TaintTag] | None:
+    if state is None:
+        return None
+    return frozenset(TaintTag.from_state(entry) for entry in state)

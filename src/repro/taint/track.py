@@ -1,0 +1,252 @@
+"""The taint tracker: sources, propagation state, and leak records.
+
+One :class:`TaintTracker` rides a single machine (or interpreter) run.
+Buffered speculative state carries its taint *inside* the shadow
+structures (``PendingWrite.taint``, ``StoreBufferEntry.taint``) so
+commit and squash move it for free; the tracker owns everything that
+outlives a buffer entry:
+
+* ``reg_taint`` -- sequential (committed) register-file taint, set when
+  an always-predicate writeback commits unconfirmed speculative data;
+* ``mem_taint`` -- committed-memory taint, sticky by design (a tainted
+  word stays suspect for the rest of the run; clean runs never set it);
+* ``ccr_taint`` -- predicate registers written from tainted sources
+  (propagation under the default policy, a leak under ``strict``);
+* ``leaks`` -- the ordered :class:`LeakRecord` list, each anchored to
+  the flight recorder for +-K context windows.
+
+The disabled default is :data:`NULL_TAINT`, following the NULL_SINK /
+NULL_RECORDER convention: ``enabled`` is a class attribute, hot paths
+cache it as one boolean and pay a single branch when taint is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.flight import NULL_RECORDER, FlightRecorder
+from repro.obs.metrics import NULL_SINK, MetricsSink
+from repro.taint.tags import TaintTag, merge_taint, taint_to_state
+
+__all__ = [
+    "LeakRecord",
+    "NULL_TAINT",
+    "NullTaintTracker",
+    "POLICIES",
+    "TaintTracker",
+]
+
+#: Leak policies.  ``committed`` flags unconfirmed speculative data
+#: reaching architectural state (the paper-faithful boundary: compiled
+#: code is clean by construction, hand-scheduled gadgets are not).
+#: ``strict`` additionally treats tainted predicate-register writes as
+#: leaks -- compiled workloads legitimately re-predicate condition-sets
+#: to ``alw`` while reading shadow state, so strict mode is for auditing
+#: hand-built code, not the workload suite.
+POLICIES = ("committed", "strict")
+
+
+@dataclass(frozen=True)
+class LeakRecord:
+    """One detected flow of speculative data into architectural state."""
+
+    kind: str  # register | memory | output | predicate | timing
+    cycle: int
+    pc: int
+    region: str | None
+    detail: str
+    tags: tuple[TaintTag, ...]
+    flight_seq: int | None = None  # anchor into the flight recorder ring
+
+    def describe(self) -> str:
+        where = f"{self.region or '?'}@pc{self.pc}"
+        sources = "; ".join(tag.describe() for tag in self.tags) or "-"
+        return (
+            f"leak[{self.kind}] cyc={self.cycle} {where} {self.detail} "
+            f"<- {sources}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "cycle": self.cycle,
+            "pc": self.pc,
+            "region": self.region,
+            "detail": self.detail,
+            "tags": taint_to_state(frozenset(self.tags)) or [],
+            "flight_seq": self.flight_seq,
+        }
+
+
+class TaintTracker:
+    """Collects taint flow for one run.  ``enabled`` is True: the
+    machines guard every taint site with a cached copy of this flag."""
+
+    enabled: bool = True
+
+    def __init__(
+        self,
+        *,
+        policy: str = "committed",
+        sink: MetricsSink = NULL_SINK,
+        flight: FlightRecorder = NULL_RECORDER,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown taint policy {policy!r} (choose from {POLICIES})"
+            )
+        self.policy = policy
+        self.sink = sink
+        self.flight = flight
+        self.leaks: list[LeakRecord] = []
+        self.reg_taint: dict[int, frozenset[TaintTag]] = {}
+        self.mem_taint: dict[int, frozenset[TaintTag]] = {}
+        self.ccr_taint: dict[int, frozenset[TaintTag]] = {}
+        self.sources = 0
+        self.declassified = 0
+        self.ccr_propagations = 0
+
+    # -- sources -------------------------------------------------------
+    def source(
+        self,
+        cycle: int,
+        pc: int,
+        region: str | None,
+        address: int | None,
+    ) -> frozenset[TaintTag]:
+        """A fresh value-taint for a load executed under UNSPEC (the
+        moment the E flag is set)."""
+        self.sources += 1
+        if self.sink.enabled:
+            self.sink.count("taint.sources")
+        if self.flight.enabled:
+            self.flight.record(
+                cycle, pc, region, "taint.source", f"spec load addr={address}"
+            )
+        return frozenset(
+            (TaintTag("value", cycle, pc, region, address, "spec-load"),)
+        )
+
+    def seed_register(self, reg: int, tag: TaintTag) -> None:
+        """Plant taint on a committed register (tests/campaigns)."""
+        self.reg_taint[reg] = merge_taint(
+            self.reg_taint.get(reg), frozenset((tag,))
+        )
+
+    def seed_memory(self, address: int, tag: TaintTag) -> None:
+        """Plant taint on a committed memory word (tests/campaigns)."""
+        self.mem_taint[address] = merge_taint(
+            self.mem_taint.get(address), frozenset((tag,))
+        )
+
+    # -- flow events ---------------------------------------------------
+    def leak(
+        self,
+        kind: str,
+        cycle: int,
+        pc: int,
+        region: str | None,
+        detail: str,
+        tags: frozenset[TaintTag],
+    ) -> LeakRecord:
+        anchor = self.flight.seq if self.flight.enabled else None
+        record = LeakRecord(
+            kind=kind,
+            cycle=cycle,
+            pc=pc,
+            region=region,
+            detail=detail,
+            tags=tuple(
+                sorted(tags, key=lambda t: (t.cycle, t.pc, t.kind, t.origin))
+            ),
+            flight_seq=anchor,
+        )
+        self.leaks.append(record)
+        if self.sink.enabled:
+            self.sink.count("taint.leaks")
+            self.sink.count(f"taint.leaks/{kind}")
+        if self.flight.enabled:
+            self.flight.record(
+                cycle, pc, region, "taint.leak", f"{kind}: {detail}"
+            )
+        return record
+
+    def declassify(self, count: int = 1) -> None:
+        """Speculation architecturally confirmed: TRUE-committed entries
+        drop their taint (their values equal sequential execution's)."""
+        self.declassified += count
+        if self.sink.enabled:
+            self.sink.count("taint.declassified", count)
+
+    def ccr_write(
+        self,
+        creg: int,
+        taint: frozenset[TaintTag],
+        cycle: int,
+        pc: int,
+        region: str | None,
+    ) -> None:
+        """A predicate register written from tainted sources.
+
+        Propagation by default (compiled condition-sets legitimately
+        read shadow state under ``alw`` re-predication); a ``predicate``
+        leak only under the ``strict`` policy.
+        """
+        self.ccr_taint[creg] = merge_taint(self.ccr_taint.get(creg), taint)
+        self.ccr_propagations += 1
+        if self.sink.enabled:
+            self.sink.count("taint.ccr_propagations")
+        if self.flight.enabled:
+            self.flight.record(
+                cycle, pc, region, "taint.ccr", f"c{creg} tainted"
+            )
+        if self.policy == "strict":
+            self.leak(
+                "predicate", cycle, pc, region, f"c{creg} <- tainted", taint
+            )
+
+    def clear_ccr(self) -> None:
+        """Region transfer resets the CCR; its taint goes with it."""
+        if self.ccr_taint:
+            self.ccr_taint.clear()
+
+    # -- reading the result --------------------------------------------
+    @property
+    def first_leak(self) -> LeakRecord | None:
+        return self.leaks[0] if self.leaks else None
+
+    def counters(self) -> dict:
+        return {
+            "sources": self.sources,
+            "declassified": self.declassified,
+            "ccr_propagations": self.ccr_propagations,
+            "leaks": len(self.leaks),
+        }
+
+    def finals(self) -> dict:
+        """Taint still attached to committed state at end of run."""
+        return {
+            "registers": {
+                str(reg): taint_to_state(taint)
+                for reg, taint in sorted(self.reg_taint.items())
+            },
+            "memory": {
+                str(address): taint_to_state(taint)
+                for address, taint in sorted(self.mem_taint.items())
+            },
+            "ccr": sorted(self.ccr_taint),
+        }
+
+
+class NullTaintTracker(TaintTracker):
+    """The disabled tracker: machines cache ``enabled`` (False) and skip
+    every taint site, so the no-op methods exist only for safety."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(policy="committed")
+
+
+#: Shared disabled tracker: the default ``taint=`` argument everywhere.
+NULL_TAINT = NullTaintTracker()

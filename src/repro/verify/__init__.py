@@ -30,7 +30,7 @@ from repro.verify.oracle import (
     resolve_model,
     run_oracle,
 )
-from repro.verify.shrink import ShrinkResult, shrink_case
+from repro.verify.shrink import ShrinkResult, ddmin_lines, shrink_case
 from repro.verify.tracediff import (
     TRACEDIFF_SCHEMA,
     TraceDiffResult,
@@ -59,6 +59,7 @@ __all__ = [
     "run_fault_campaign",
     "run_fuzz",
     "run_oracle",
+    "ddmin_lines",
     "shrink_case",
     "validate_tracediff",
 ]

@@ -54,6 +54,53 @@ def candidate_budgets(initial: OracleResult | None) -> tuple[int, int]:
     return steps, cycles
 
 
+def ddmin_lines(
+    lines: list[str],
+    reproduces,
+    *,
+    max_attempts: int = 2_000,
+    sink: MetricsSink = NULL_SINK,
+) -> tuple[list[str], int, int]:
+    """Greedy chunk-halving ddmin over text lines.
+
+    Repeatedly deletes chunks (size halving from ``len(lines)//2`` down
+    to 1) while ``reproduces(kept_lines)`` stays True; a rejected chunk
+    is put back and the window advances.  Returns ``(minimized_lines,
+    attempts, accepted)``.  Shared by the divergence shrinker and the
+    security-campaign leak shrinker -- *reproduces* owns all domain
+    judgment (parse, validate, run, classify).
+    """
+    lines = list(lines)
+    attempts = 0
+    accepted = 0
+    chunk = max(1, len(lines) // 2)
+    while chunk >= 1 and attempts < max_attempts:
+        removed_any = False
+        start = 0
+        while start < len(lines) and attempts < max_attempts:
+            kept = lines[:start] + lines[start + chunk:]
+            if not kept:
+                start += chunk
+                continue
+            attempts += 1
+            if sink.enabled:
+                sink.count("shrink.candidates")
+            if reproduces(kept):
+                lines = kept
+                removed_any = True
+                accepted += 1
+                if sink.enabled:
+                    sink.count("shrink.accepted")
+                # Retry the same offset: the next chunk slid into place.
+            else:
+                start += chunk
+        if not removed_any:
+            chunk //= 2
+        elif chunk > len(lines):
+            chunk = max(1, len(lines) // 2)
+    return lines, attempts, accepted
+
+
 @dataclass
 class ShrinkResult:
     """The minimized case plus how the search went."""
@@ -133,47 +180,25 @@ def shrink_case(
     max_steps, max_cycles = candidate_budgets(initial_result)
 
     original_instructions = case.instruction_count()
-    lines = case.program_text.splitlines()
-    attempts = 0
-    accepted = 0
 
     def candidate(kept: list[str]) -> ReproCase:
         return dataclasses.replace(
             case, program_text="\n".join(kept) + "\n"
         )
 
-    chunk = max(1, len(lines) // 2)
-    while chunk >= 1 and attempts < max_attempts:
-        removed_any = False
-        start = 0
-        while start < len(lines) and attempts < max_attempts:
-            kept = lines[:start] + lines[start + chunk:]
-            if not kept:
-                start += chunk
-                continue
-            attempts += 1
-            if sink.enabled:
-                sink.count("shrink.candidates")
-            if _reproduces(
-                candidate(kept),
-                category,
-                machine_factory,
-                sink,
-                max_steps,
-                max_cycles,
-            ):
-                lines = kept
-                removed_any = True
-                accepted += 1
-                if sink.enabled:
-                    sink.count("shrink.accepted")
-                # Retry the same offset: the next chunk slid into place.
-            else:
-                start += chunk
-        if not removed_any:
-            chunk //= 2
-        elif chunk > len(lines):
-            chunk = max(1, len(lines) // 2)
+    lines, attempts, accepted = ddmin_lines(
+        case.program_text.splitlines(),
+        lambda kept: _reproduces(
+            candidate(kept),
+            category,
+            machine_factory,
+            sink,
+            max_steps,
+            max_cycles,
+        ),
+        max_attempts=max_attempts,
+        sink=sink,
+    )
 
     shrunk = candidate(lines)
     shrunk.metadata = dict(case.metadata)

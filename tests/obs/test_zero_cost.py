@@ -29,6 +29,7 @@ from repro.core.predicate import Predicate
 from repro.core.regfile import PredicatedRegisterFile
 from repro.obs.metrics import NULL_SINK
 from repro.obs.flight import NULL_RECORDER
+from repro.taint import NULL_TAINT
 
 #: The claim under test: guard sites must cost less than 5%.
 OVERHEAD_LIMIT = 1.05
@@ -160,3 +161,67 @@ class TestDisabledRecorderGuard:
         assert instrumented.equivalent == bare.equivalent
         assert instrumented.machine.cycles == bare.machine_cycles
         assert instrumented.scalar.cycles == bare.scalar_cycles
+
+
+class TestDisabledTaintGuard:
+    """Taint tracking off is the same zero-cost shape as forensics off.
+
+    A default machine (and interpreter) carries :data:`NULL_TAINT` and a
+    single cached ``_taint`` boolean; with taint off the hot loop pays
+    one branch per guard site, pending/store-buffer entries keep
+    ``taint=None``, and snapshots stay byte-identical to the pre-taint
+    layout.  As with forensics, the <5% wall-clock claim is gated by
+    ``repro bench compare`` against the stored baseline -- these tests
+    pin the structure that claim depends on.
+    """
+
+    def test_null_taint_is_disabled(self):
+        assert NULL_TAINT.enabled is False
+
+    def test_default_machine_has_taint_off(self):
+        from repro.verify.fuzz import build_case, derive_campaign
+
+        case = build_case(derive_campaign(0, 0))
+        from repro.analysis.branch_prediction import StaticPredictor
+        from repro.compiler.models import MODELS
+        from repro.compiler.pipeline import compile_program
+        from repro.ir.cfg import build_cfg
+        from repro.machine.scalar import run_scalar
+        from repro.machine.vliw import VLIWMachine
+        from repro.sim.interpreter import Interpreter
+
+        program = case.program()
+        cfg = build_cfg(program)
+        train = run_scalar(program, cfg, case.make_memory())
+        compiled = compile_program(
+            program,
+            MODELS[case.model],
+            case.config,
+            StaticPredictor.from_trace(train.trace),
+        )
+        machine = VLIWMachine(compiled.vliw, case.config, case.make_memory())
+        assert machine.taint is NULL_TAINT
+        assert machine._taint is False
+        interpreter = Interpreter(program, case.make_memory(), cfg=cfg)
+        assert interpreter.taint is NULL_TAINT
+        assert interpreter._taint is False
+
+    def test_taint_run_does_not_perturb_cycles(self):
+        # The security oracle's twin runs -- taint off, then taint on --
+        # must agree on cycle count, or the taint machinery has become
+        # part of the timing it is supposed to observe.  (A disagreement
+        # is *also* reported as a timing leak; asserting both keeps the
+        # mechanism honest.)
+        from repro.taint import run_security
+        from repro.workloads import get_workload
+
+        workload = get_workload("grep")
+        result = run_security(
+            workload.program,
+            model="region_pred",
+            train_memory=workload.train_memory(),
+            eval_memory=workload.eval_memory(),
+        )
+        assert result.error is None
+        assert result.secure
+        assert result.taint_cycles == result.baseline_cycles

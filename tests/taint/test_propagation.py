@@ -1,0 +1,216 @@
+"""The propagation matrix: how taint moves through each op class.
+
+Interpreter side: taint is seeded on committed registers/memory and must
+flow through ALU mixing, loads (address vs value taint), stores, CCR
+writes and outputs exactly as the rules in DESIGN.md specify.  Machine
+side: the speculative load *is* the source -- no seeding needed -- and a
+TRUE commit declassifies.
+"""
+
+from repro.ir.cfg import build_cfg
+from repro.isa.parser import parse_program
+from repro.machine.text import parse_vliw
+from repro.machine.config import base_machine
+from repro.machine.vliw import VLIWMachine
+from repro.sim.interpreter import Interpreter
+from repro.sim.memory import Memory
+from repro.taint import TaintTracker
+from repro.taint.tags import KIND_ADDRESS, KIND_VALUE, TaintTag
+
+
+def seed_tag(**overrides) -> TaintTag:
+    fields = dict(
+        kind=KIND_VALUE,
+        cycle=0,
+        pc=0,
+        region=None,
+        address=None,
+        origin="seed",
+    )
+    fields.update(overrides)
+    return TaintTag(**fields)
+
+
+def run_scalar_with_taint(
+    text: str, tracker: TaintTracker, memory: Memory | None = None
+):
+    program = parse_program(text, name="t")
+    interpreter = Interpreter(
+        program,
+        memory if memory is not None else Memory(),
+        cfg=build_cfg(program),
+        taint=tracker,
+    )
+    return interpreter.run()
+
+
+class TestInterpreterAlu:
+    def test_alu_unions_source_taints(self):
+        tracker = TaintTracker()
+        tracker.seed_register(1, seed_tag(pc=1))
+        tracker.seed_register(2, seed_tag(pc=2))
+        run_scalar_with_taint("add r3, r1, r2\nhalt\n", tracker)
+        assert tracker.reg_taint[3] == frozenset(
+            (seed_tag(pc=1), seed_tag(pc=2))
+        )
+
+    def test_clean_overwrite_drops_taint(self):
+        tracker = TaintTracker()
+        tracker.seed_register(3, seed_tag())
+        run_scalar_with_taint("add r3, r0, r0\nhalt\n", tracker)
+        assert 3 not in tracker.reg_taint
+
+
+class TestInterpreterLoads:
+    def test_load_picks_up_memory_taint(self):
+        tracker = TaintTracker()
+        tracker.seed_memory(100, seed_tag(address=100))
+        memory = Memory()
+        memory.store(100, 42)
+        run_scalar_with_taint("ld r2, r0, 100\nhalt\n", tracker, memory)
+        assert tracker.reg_taint[2] == frozenset((seed_tag(address=100),))
+
+    def test_tainted_address_rekind_taints_loaded_value(self):
+        tracker = TaintTracker()
+        tracker.seed_register(1, seed_tag())
+        memory = Memory()
+        memory.store(100, 42)
+        run_scalar_with_taint(
+            "addi r1, r1, 100\nld r2, r1, 0\nhalt\n", tracker, memory
+        )
+        assert {t.kind for t in tracker.reg_taint[2]} == {KIND_ADDRESS}
+
+    def test_clean_load_clears_destination(self):
+        tracker = TaintTracker()
+        tracker.seed_register(2, seed_tag())
+        memory = Memory()
+        memory.store(100, 42)
+        run_scalar_with_taint("ld r2, r0, 100\nhalt\n", tracker, memory)
+        assert 2 not in tracker.reg_taint
+
+
+class TestInterpreterStoresAndOutputs:
+    def test_tainted_store_is_a_memory_leak(self):
+        tracker = TaintTracker()
+        tracker.seed_register(1, seed_tag())
+        run_scalar_with_taint("st r1, r0, 50\nhalt\n", tracker)
+        assert [leak.kind for leak in tracker.leaks] == ["memory"]
+        assert tracker.mem_taint[50] == frozenset((seed_tag(),))
+
+    def test_tainted_store_address_leaks_as_address_kind(self):
+        tracker = TaintTracker()
+        tracker.seed_register(1, seed_tag())
+        run_scalar_with_taint("addi r1, r1, 50\nst r0, r1, 0\nhalt\n", tracker)
+        (leak,) = tracker.leaks
+        assert leak.kind == "memory"
+        assert {t.kind for t in leak.tags} == {KIND_ADDRESS}
+
+    def test_clean_store_scrubs_memory_taint(self):
+        tracker = TaintTracker()
+        tracker.seed_memory(50, seed_tag(address=50))
+        run_scalar_with_taint("st r0, r0, 50\nhalt\n", tracker)
+        assert 50 not in tracker.mem_taint
+        assert tracker.leaks == []
+
+    def test_tainted_output_is_an_output_leak(self):
+        tracker = TaintTracker()
+        tracker.seed_register(1, seed_tag())
+        result = run_scalar_with_taint("out r1\nhalt\n", tracker)
+        assert result.output == [0]
+        assert [leak.kind for leak in tracker.leaks] == ["output"]
+
+
+class TestInterpreterCcr:
+    def test_tainted_condition_is_a_propagation_not_a_leak(self):
+        tracker = TaintTracker()
+        tracker.seed_register(1, seed_tag())
+        run_scalar_with_taint("cgt c0, r1, r0\nhalt\n", tracker)
+        assert tracker.ccr_propagations == 1
+        assert 0 in tracker.ccr_taint
+        assert tracker.leaks == []
+
+    def test_strict_policy_reports_predicate_leak(self):
+        tracker = TaintTracker(policy="strict")
+        tracker.seed_register(1, seed_tag())
+        run_scalar_with_taint("cgt c0, r1, r0\nhalt\n", tracker)
+        assert [leak.kind for leak in tracker.leaks] == ["predicate"]
+
+    def test_clean_condition_clears_ccr_taint(self):
+        tracker = TaintTracker()
+        tracker.seed_register(1, seed_tag())
+        run_scalar_with_taint(
+            "cgt c0, r1, r0\ncgt c0, r0, r0\nhalt\n", tracker
+        )
+        assert 0 not in tracker.ccr_taint
+
+
+def run_vliw_with_taint(
+    text: str, tracker: TaintTracker, memory: Memory | None = None
+):
+    program = parse_vliw(text, name="t")
+    machine = VLIWMachine(
+        program,
+        base_machine(),
+        memory if memory is not None else Memory(),
+        taint=tracker,
+    )
+    return machine.run()
+
+
+class TestMachineSources:
+    """The VLIW machine needs no seeding: a load executed while its
+    predicate is UNSPEC (the E-flag moment) *is* the source."""
+
+    GADGET = (
+        "entry:\n"
+        "  addi r1, r0, 20\n"
+        "  [c0] ld r2, r1, 100\n"
+        "  nop\n"
+        "  {consumer}\n"
+        "  clti c0, r1, 8\n"
+        "  {tail}\n"
+        "  halt\n"
+    )
+
+    def _memory(self) -> Memory:
+        memory = Memory()
+        memory.store(120, 31337)
+        return memory
+
+    def test_speculative_load_mints_a_source(self):
+        tracker = TaintTracker()
+        run_vliw_with_taint(
+            self.GADGET.format(consumer="nop", tail="nop"),
+            tracker,
+            self._memory(),
+        )
+        assert tracker.sources == 1
+        assert tracker.leaks == []
+
+    def test_alw_consumer_leaks_with_provenance(self):
+        tracker = TaintTracker()
+        run_vliw_with_taint(
+            self.GADGET.format(consumer="add r3, r2.s, r0", tail="out r3"),
+            tracker,
+            self._memory(),
+        )
+        kinds = [leak.kind for leak in tracker.leaks]
+        assert "register" in kinds
+        first = tracker.first_leak
+        (tag,) = first.tags
+        assert tag.origin == "spec-load"
+        assert tag.address == 120
+
+    def test_true_commit_declassifies(self):
+        tracker = TaintTracker()
+        run_vliw_with_taint(
+            self.GADGET.format(consumer="nop", tail="nop").replace(
+                "addi r1, r0, 20", "addi r1, r0, 4"
+            ),
+            tracker,
+            self._memory(),
+        )
+        assert tracker.sources == 1
+        assert tracker.declassified >= 1
+        assert tracker.leaks == []
+        assert tracker.reg_taint == {}

@@ -1,0 +1,102 @@
+"""Squash discards taint with the state it rides on.
+
+A FALSE verdict drops the pending write / store-buffer entry *and* its
+tags; recovery-mode invalidation does the same wholesale.  After the
+squash nothing tainted remains anywhere -- committed maps, shadow
+structures, or the store buffer.
+"""
+
+from repro.core.ccr import CCR
+from repro.core.predicate import Predicate
+from repro.core.regfile import PredicatedRegisterFile
+from repro.core.store_buffer import PredicatedStoreBuffer
+from repro.machine.config import base_machine
+from repro.machine.text import parse_vliw
+from repro.machine.vliw import VLIWMachine
+from repro.sim.memory import Memory
+from repro.taint import TaintTracker
+from repro.taint.tags import TaintTag
+
+
+def spec_taint() -> frozenset[TaintTag]:
+    return frozenset(
+        (TaintTag("value", cycle=1, pc=1, region="entry", address=120),)
+    )
+
+
+class TestRegfileSquash:
+    def test_false_verdict_drops_write_and_taint(self):
+        regfile = PredicatedRegisterFile(8, shadow_capacity=None)
+        regfile.write_speculative(
+            3, 31337, Predicate({0: True}), taint=spec_taint()
+        )
+        ccr = CCR(8)
+        ccr.set(0, False)
+        events = regfile.tick(ccr)
+        assert events.squashed == [3]
+        assert events.declassified == 0
+        assert regfile.entries[3].pending == []
+        hit, taint = regfile.shadow_taint(3, Predicate({0: True}))
+        assert (hit, taint) == (False, None)
+
+    def test_invalidate_speculative_drops_taint_wholesale(self):
+        regfile = PredicatedRegisterFile(8, shadow_capacity=None)
+        regfile.write_speculative(
+            3, 31337, Predicate({0: True}), taint=spec_taint()
+        )
+        regfile.invalidate_speculative()
+        assert not regfile.has_speculative_state()
+
+
+class TestStoreBufferSquash:
+    def test_false_verdict_drops_entry_and_taint(self):
+        buffer = PredicatedStoreBuffer()
+        buffer.append(
+            50,
+            31337,
+            Predicate({0: True}),
+            speculative=True,
+            taint=spec_taint(),
+        )
+        ccr = CCR(8)
+        ccr.set(0, False)
+        memory = Memory()
+        output: list[int] = []
+        events = buffer.tick(ccr, memory, output)
+        assert len(events.squashed) == 1
+        assert events.declassified == 0
+        assert len(buffer) == 0
+        assert output == []
+        hit, taint = buffer.lookup_taint(50, Predicate({0: True}))
+        assert (hit, taint) == (False, None)
+
+
+class TestMachineSquash:
+    GADGET = (
+        "entry:\n"
+        "  addi r1, r0, 20\n"
+        "  [c0] ld r2, r1, 100\n"
+        "  nop\n"
+        "  [c0] add r3, r2.s, r0\n"
+        "  [c0] st r3.s, r0, 60\n"
+        "  clti c0, r1, 8\n"
+        "  halt\n"
+    )
+
+    def test_squash_leaves_no_taint_anywhere(self):
+        tracker = TaintTracker()
+        memory = Memory()
+        memory.store(120, 31337)
+        program = parse_vliw(self.GADGET, name="squash")
+        machine = VLIWMachine(program, base_machine(), memory, taint=tracker)
+        result = machine.run()
+
+        # The whole speculative chain rode c0=False: sourced, then
+        # squashed.  Nothing leaked, nothing stayed tainted.
+        assert tracker.sources >= 1
+        assert tracker.leaks == []
+        finals = tracker.finals()
+        assert finals["registers"] == {}
+        assert finals["memory"] == {}
+        assert not machine.regfile.has_speculative_state()
+        assert result.architectural_output == ()
